@@ -1,0 +1,71 @@
+// Ablation (beyond the paper's figures): iterative-scaling convergence.
+// The paper solves max-ent via CVX/Sedumi; this repo uses iterative
+// proportional fitting (its cited alternative [17,20,40]). This bench
+// sweeps the stopping tolerance and reports residual marginal error,
+// fitted-entropy drift, and runtime on a 15-pattern model — the size MTV
+// tops out at.
+#include <vector>
+
+#include "bench_common.h"
+#include "maxent/scaling.h"
+#include "maxent/signature_space.h"
+#include "util/prng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace logr;
+  using namespace logr::bench;
+  Banner("Ablation: max-ent iterative scaling",
+         "Residual / entropy drift / runtime vs tolerance, 15 random "
+         "patterns over a 60-feature universe");
+
+  Pcg32 rng(123);
+  const std::size_t n = 60;
+  std::vector<FeatureVec> patterns;
+  std::vector<double> marginals;
+  // Consistent marginals: measure them from a synthetic empirical log.
+  std::vector<FeatureVec> sample_rows;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < n; ++f) {
+      if (rng.NextBernoulli(0.25)) ids.push_back(f);
+    }
+    sample_rows.push_back(FeatureVec(std::move(ids)));
+  }
+  for (int p = 0; p < 15; ++p) {
+    std::vector<FeatureId> ids;
+    FeatureId base = rng.NextBounded(n - 3);
+    ids.push_back(base);
+    ids.push_back(base + 1 + rng.NextBounded(2));
+    patterns.push_back(FeatureVec(std::move(ids)));
+    double m = 0.0;
+    for (const FeatureVec& r : sample_rows) {
+      if (r.ContainsAll(patterns.back())) m += 1.0;
+    }
+    marginals.push_back(m / sample_rows.size());
+  }
+
+  SignatureSpace space(patterns, n);
+  double reference_entropy = 0.0;
+  TablePrinter table(
+      {"tolerance", "iterations", "max_residual", "entropy", "sec"});
+  for (double tol : {1e-3, 1e-5, 1e-7, 1e-9, 1e-11}) {
+    ScalingOptions opts;
+    opts.tolerance = tol;
+    opts.max_iterations = 5000;
+    Stopwatch timer;
+    MaxEntModel model(&space, marginals, opts);
+    double secs = timer.ElapsedSeconds();
+    if (tol == 1e-11) reference_entropy = model.EntropyNats();
+    table.AddRow({TablePrinter::Fmt(tol, 11),
+                  TablePrinter::Fmt(model.iterations()),
+                  TablePrinter::Fmt(model.MaxResidual(), 12),
+                  TablePrinter::Fmt(model.EntropyNats(), 8),
+                  TablePrinter::Fmt(secs, 4)});
+  }
+  table.Print();
+  std::printf("\nEntropy at tightest tolerance: %.8f nats\n",
+              reference_entropy);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figure 2: distance-measure comparison for naive mixture
+// construction.
+//   2a  Error vs number of clusters        (both datasets, 4 methods)
+//   2b  Total Verbosity vs number of clusters
+//   2c  Clustering runtime vs number of clusters (paper plots log scale)
+//
+// Paper take-aways to check against: Error falls with K everywhere;
+// the bank log needs far more clusters than PocketData; Hamming
+// converges fastest on PocketData; k-means is orders of magnitude
+// faster than spectral methods; Verbosity grows with K.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/logr_compressor.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace logr;
+  using namespace logr::bench;
+  Banner("Figure 2",
+         "Error / Total Verbosity / runtime vs #clusters for "
+         "KmeansEuclidean, spectral-manhattan, spectral-minkowski(p=4), "
+         "spectral-hamming");
+
+  const std::size_t trials = EnvSize("LOGR_TRIALS", 2);
+  const std::vector<std::size_t> ks = {1, 2, 4, 6, 8, 12, 16, 20, 25, 30};
+  const ClusteringMethod methods[] = {
+      ClusteringMethod::kKMeansEuclidean,
+      ClusteringMethod::kSpectralManhattan,
+      ClusteringMethod::kSpectralMinkowski,
+      ClusteringMethod::kSpectralHamming,
+  };
+
+  struct Dataset {
+    const char* name;
+    QueryLog log;
+  };
+  Dataset datasets[2] = {{"PocketData", LoadPocketLog()},
+                         {"USBank", LoadBankLog()}};
+
+  TablePrinter table({"dataset", "method", "K", "error", "total_verbosity",
+                      "time_sec"});
+  for (Dataset& d : datasets) {
+    for (ClusteringMethod m : methods) {
+      for (std::size_t k : ks) {
+        double err_sum = 0.0, verb_sum = 0.0, time_sum = 0.0;
+        for (std::size_t t = 0; t < trials; ++t) {
+          LogROptions opts;
+          opts.method = m;
+          opts.num_clusters = k;
+          opts.seed = 1000 + 31 * t;
+          opts.n_init = 2;
+          Stopwatch timer;
+          LogRSummary s = Compress(d.log, opts);
+          time_sum += timer.ElapsedSeconds();
+          err_sum += s.encoding.Error();
+          verb_sum += static_cast<double>(s.encoding.TotalVerbosity());
+        }
+        double n = static_cast<double>(trials);
+        table.AddRow({d.name, ClusteringMethodName(m),
+                      TablePrinter::Fmt(k), TablePrinter::Fmt(err_sum / n),
+                      TablePrinter::Fmt(verb_sum / n, 1),
+                      TablePrinter::Fmt(time_sum / n, 4)});
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 3: effectiveness of naive mixture encodings.
+//   3a  Synthesis error vs Reproduction Error
+//   3b  Marginal deviation vs Reproduction Error
+//
+// The paper synthesizes N = 10,000 patterns per partition (LOGR_SAMPLES
+// overrides; different N give similar observations, as the paper notes)
+// and sweeps the number of clusters; both measures should fall with
+// Reproduction Error.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/logr_compressor.h"
+#include "core/synthesis.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace logr;
+  using namespace logr::bench;
+  Banner("Figure 3",
+         "Synthesis error and marginal deviation vs Reproduction Error "
+         "(k-means naive mixtures, K sweep)");
+
+  const std::size_t samples = EnvSize("LOGR_SAMPLES", 1000);
+  const std::vector<std::size_t> ks = {1, 2, 4, 6, 8, 12, 16, 20, 25, 30};
+
+  struct Dataset {
+    const char* name;
+    QueryLog log;
+  };
+  Dataset datasets[2] = {{"pocket data", LoadPocketLog()},
+                         {"bank data", LoadBankLog()}};
+
+  TablePrinter table({"dataset", "K", "reproduction_error",
+                      "synthesis_error", "marginal_deviation"});
+  for (Dataset& d : datasets) {
+    for (std::size_t k : ks) {
+      LogROptions opts;
+      opts.method = ClusteringMethod::kKMeansEuclidean;
+      opts.num_clusters = k;
+      opts.seed = 99;
+      LogRSummary s = Compress(d.log, opts);
+      SynthesisOptions so;
+      so.samples_per_partition = samples;
+      so.seed = 7 + k;
+      SynthesisStats stats = EvaluateSynthesis(d.log, s.encoding, so);
+      table.AddRow({d.name, TablePrinter::Fmt(k),
+                    TablePrinter::Fmt(s.encoding.Error()),
+                    TablePrinter::Fmt(stats.synthesis_error),
+                    TablePrinter::Fmt(stats.marginal_deviation)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the core operations the paper
+// argues must be fast: SQL parse + featurize, naive encoding
+// construction, marginal estimation from a compressed summary, k-means
+// partitioning, and sampled-Deviation estimation.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/logr_compressor.h"
+#include "core/mixture.h"
+#include "core/streaming.h"
+#include "core/naive_encoding.h"
+#include "maxent/deviation.h"
+#include "sql/parser.h"
+#include "workload/extractor.h"
+#include "workload/loader.h"
+
+namespace {
+
+using namespace logr;
+using namespace logr::bench;
+
+const char* kSampleSql =
+    "SELECT status, timestamp, expiration_timestamp, sms_raw_sender "
+    "FROM conversations, message_notifications_view, messages_view "
+    "WHERE expiration_timestamp > ? AND status != 5 AND "
+    "conversation_id = ? AND timestamp > ? "
+    "ORDER BY timestamp DESC LIMIT 500";
+
+void BM_ParseSql(benchmark::State& state) {
+  for (auto _ : state) {
+    sql::ParseResult r = sql::Parse(kSampleSql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseSql);
+
+void BM_ParseAndFeaturize(benchmark::State& state) {
+  Vocabulary vocab;
+  for (auto _ : state) {
+    sql::ParseResult r = sql::Parse(kSampleSql);
+    FeatureVec v = ExtractFeatures(*r.statement, {}, &vocab);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ParseAndFeaturize);
+
+const QueryLog& PocketLogSingleton() {
+  static const QueryLog* kLog = new QueryLog(LoadPocketLog());
+  return *kLog;
+}
+
+void BM_NaiveEncodingBuild(benchmark::State& state) {
+  const QueryLog& log = PocketLogSingleton();
+  for (auto _ : state) {
+    NaiveEncoding enc = NaiveEncoding::FromLog(log);
+    benchmark::DoNotOptimize(enc);
+  }
+}
+BENCHMARK(BM_NaiveEncodingBuild);
+
+void BM_MarginalEstimate(benchmark::State& state) {
+  const QueryLog& log = PocketLogSingleton();
+  LogROptions opts;
+  opts.num_clusters = 8;
+  LogRSummary s = Compress(log, opts);
+  FeatureVec pattern = log.Vector(0);
+  for (auto _ : state) {
+    double est = s.encoding.EstimateCount(pattern);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_MarginalEstimate);
+
+void BM_TrueCountScan(benchmark::State& state) {
+  // The uncompressed alternative the estimate replaces.
+  const QueryLog& log = PocketLogSingleton();
+  FeatureVec pattern = log.Vector(0);
+  for (auto _ : state) {
+    std::uint64_t count = log.CountContaining(pattern);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_TrueCountScan);
+
+void BM_KMeansCompress(benchmark::State& state) {
+  const QueryLog& log = PocketLogSingleton();
+  LogROptions opts;
+  opts.num_clusters = static_cast<std::size_t>(state.range(0));
+  opts.n_init = 1;
+  for (auto _ : state) {
+    LogRSummary s = Compress(log, opts);
+    benchmark::DoNotOptimize(s.encoding.Error());
+  }
+}
+BENCHMARK(BM_KMeansCompress)->Arg(4)->Arg(16);
+
+void BM_StreamingAdd(benchmark::State& state) {
+  // Throughput of routing one query into a live streaming summary
+  // (the online-monitoring path).
+  const QueryLog& log = PocketLogSingleton();
+  StreamingOptions opts;
+  opts.max_clusters = static_cast<std::size_t>(state.range(0));
+  opts.split_threshold = 0.5;
+  StreamingCompressor stream(opts);
+  // Pre-warm with the whole log so routing sees realistic components.
+  for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
+    stream.Add(log.Vector(i), log.Multiplicity(i));
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    stream.Add(log.Vector(next));
+    next = (next + 1) % log.NumDistinct();
+  }
+}
+BENCHMARK(BM_StreamingAdd)->Arg(4)->Arg(16);
+
+void BM_DeviationSample(benchmark::State& state) {
+  const QueryLog& log = PocketLogSingleton();
+  std::vector<FeatureId> band =
+      ProjectedLog::SelectFeaturesInBand(log, 0.01, 0.99);
+  if (band.size() > 8) band.resize(8);
+  ProjectedLog proj(log, band);
+  ProjectedEncoding enc = ProjectedEncoding::Measure(
+      proj, {FeatureVec({0, 1}), FeatureVec({2})});
+  for (auto _ : state) {
+    DeviationResult d = EstimateDeviation(proj, enc, 20, 3);
+    benchmark::DoNotOptimize(d.mean);
+  }
+}
+BENCHMARK(BM_DeviationSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

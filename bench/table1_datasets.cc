@@ -1,0 +1,52 @@
+// Reproduces Table 1: "Summary of Data sets".
+//
+// Paper values for reference (synthetic stand-ins reproduce the shape,
+// not the exact numbers — see EXPERIMENTS.md):
+//   PocketData: 629,582 queries / 605 distinct / 605 w/o const /
+//     135 conjunctive / 605 rewritable / max mult 48,651 /
+//     863 features (= w/o const) / 14.78 features per query
+//   US bank: 1,244,243 / 188,184 / 1,712 / 1,494 / 1,712 / 208,742 /
+//     144,708 features (5,290 w/o const) / 16.56 features per query
+#include "bench_common.h"
+#include "util/table_printer.h"
+#include "workload/loader.h"
+
+int main() {
+  using namespace logr;
+  using namespace logr::bench;
+  Banner("Table 1", "Summary of data sets (synthetic stand-ins)");
+
+  LogLoader pocket = LoadPocketLoader();
+  LogLoader bank = LoadBankLoader();
+  DatasetSummary ps = pocket.Summary("PocketData");
+  DatasetSummary bs = bank.Summary("US bank");
+
+  TablePrinter table({"Statistics", "PocketData", "US bank"});
+  auto row = [&](const char* label, std::uint64_t a, std::uint64_t b) {
+    table.AddRow({label, TablePrinter::Fmt(static_cast<std::size_t>(a)),
+                  TablePrinter::Fmt(static_cast<std::size_t>(b))});
+  };
+  row("# Queries", ps.num_queries, bs.num_queries);
+  row("# Distinct queries", ps.num_distinct, bs.num_distinct);
+  row("# Distinct queries (w/o const)", ps.num_distinct_no_const,
+      bs.num_distinct_no_const);
+  row("# Distinct conjunctive queries", ps.num_distinct_conjunctive,
+      bs.num_distinct_conjunctive);
+  row("# Distinct re-writable queries", ps.num_distinct_rewritable,
+      bs.num_distinct_rewritable);
+  row("Max query multiplicity", ps.max_multiplicity, bs.max_multiplicity);
+  row("# Distinct features", ps.num_features, bs.num_features);
+  row("# Distinct features (w/o const)", ps.num_features_no_const,
+      bs.num_features_no_const);
+  table.AddRow({"Average features per query",
+                TablePrinter::Fmt(ps.avg_features_per_query, 2),
+                TablePrinter::Fmt(bs.avg_features_per_query, 2)});
+  table.AddRow({"(funnel) non-SELECT ops",
+                TablePrinter::Fmt(static_cast<std::size_t>(ps.num_non_select)),
+                TablePrinter::Fmt(static_cast<std::size_t>(bs.num_non_select))});
+  table.AddRow({"(funnel) unparseable",
+                TablePrinter::Fmt(static_cast<std::size_t>(ps.num_parse_errors)),
+                TablePrinter::Fmt(static_cast<std::size_t>(bs.num_parse_errors))});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,270 @@
+// logr_cli — command-line front end for the LogR library.
+//
+//   logr_cli compress [--clusters K] [--method NAME] [--out FILE] [LOG]
+//       Reads SQL statements (one per line; an optional "COUNT<TAB>"
+//       prefix gives a multiplicity) from LOG or stdin, compresses them,
+//       and writes a summary file.
+//   logr_cli info SUMMARY
+//       Prints the summary's clusters, weights and verbosities.
+//   logr_cli estimate SUMMARY CLAUSE:TEXT [CLAUSE:TEXT ...]
+//       Estimates how many logged queries contain all the given
+//       features, e.g.  logr_cli estimate s.logr "WHERE:status = ?".
+//   logr_cli visualize SUMMARY
+//       Renders each cluster as a shaded SQL template (Fig. 10 style).
+//   logr_cli demo
+//       Compresses a built-in synthetic workload end to end.
+//
+// Methods: kmeans (default), manhattan, minkowski, hamming, hierarchical,
+// adaptive.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/logr_compressor.h"
+#include "core/serialization.h"
+#include "core/visualize.h"
+#include "data/pocketdata.h"
+#include "data/sql_log.h"
+#include "workload/loader.h"
+
+namespace {
+
+using namespace logr;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: logr_cli compress [--clusters K] [--method NAME] "
+               "[--out FILE] [LOG]\n"
+               "       logr_cli info SUMMARY\n"
+               "       logr_cli estimate SUMMARY CLAUSE:TEXT...\n"
+               "       logr_cli visualize SUMMARY\n"
+               "       logr_cli demo\n");
+  return 2;
+}
+
+bool ParseClause(const std::string& label, FeatureClause* clause) {
+  if (label == "SELECT") *clause = FeatureClause::kSelect;
+  else if (label == "FROM") *clause = FeatureClause::kFrom;
+  else if (label == "WHERE") *clause = FeatureClause::kWhere;
+  else if (label == "GROUPBY") *clause = FeatureClause::kGroupBy;
+  else if (label == "ORDERBY") *clause = FeatureClause::kOrderBy;
+  else if (label == "LIMIT") *clause = FeatureClause::kLimit;
+  else return false;
+  return true;
+}
+
+int RunCompress(int argc, char** argv) {
+  std::size_t clusters = 8;
+  std::string method = "kmeans";
+  std::string out_path = "summary.logr";
+  std::string in_path;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--clusters" && i + 1 < argc) {
+      clusters = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--method" && i + 1 < argc) {
+      method = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      in_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!in_path.empty()) {
+    file.open(in_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", in_path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  LogLoader loader;
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    std::uint64_t count = 1;
+    std::string sql_text = line;
+    std::size_t tab = line.find('\t');
+    if (tab != std::string::npos) {
+      long long parsed = std::atoll(line.substr(0, tab).c_str());
+      if (parsed > 0) {
+        count = static_cast<std::uint64_t>(parsed);
+        sql_text = line.substr(tab + 1);
+      }
+    }
+    loader.AddSql(sql_text, count);
+    ++lines;
+  }
+  DatasetSummary stats = loader.Summary("cli");
+  std::printf("read %llu lines: %llu SELECT queries, %llu non-SELECT, "
+              "%llu unparseable\n",
+              static_cast<unsigned long long>(lines),
+              static_cast<unsigned long long>(stats.num_queries),
+              static_cast<unsigned long long>(stats.num_non_select),
+              static_cast<unsigned long long>(stats.num_parse_errors));
+  if (stats.num_queries == 0) {
+    std::fprintf(stderr, "no usable queries\n");
+    return 1;
+  }
+
+  QueryLog log = loader.TakeLog();
+  LogROptions opts;
+  opts.num_clusters = clusters;
+  LogRSummary summary;
+  if (method == "adaptive") {
+    summary = CompressAdaptive(log, clusters, opts);
+  } else {
+    if (method == "kmeans") {
+      opts.method = ClusteringMethod::kKMeansEuclidean;
+    } else if (method == "manhattan") {
+      opts.method = ClusteringMethod::kSpectralManhattan;
+    } else if (method == "minkowski") {
+      opts.method = ClusteringMethod::kSpectralMinkowski;
+    } else if (method == "hamming") {
+      opts.method = ClusteringMethod::kSpectralHamming;
+    } else if (method == "hierarchical") {
+      opts.method = ClusteringMethod::kHierarchicalAverage;
+    } else {
+      std::fprintf(stderr, "unknown method %s\n", method.c_str());
+      return 2;
+    }
+    summary = Compress(log, opts);
+  }
+  std::printf("compressed: %zu clusters, error %.4f nats, verbosity %zu "
+              "(from %zu distinct templates, %zu features)\n",
+              summary.encoding.NumComponents(), summary.encoding.Error(),
+              summary.encoding.TotalVerbosity(), log.NumDistinct(),
+              log.NumFeatures());
+
+  std::string error;
+  if (!WriteSummaryFile(out_path, log.vocabulary(), summary.encoding,
+                        &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int RunInfo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  PersistedSummary s;
+  std::string error;
+  if (!ReadSummaryFile(argv[2], &s, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("summary %s: %zu features, %zu clusters, %llu queries\n",
+              argv[2], s.vocabulary.size(), s.encoding.NumComponents(),
+              static_cast<unsigned long long>(s.encoding.LogSize()));
+  for (std::size_t c = 0; c < s.encoding.NumComponents(); ++c) {
+    const MixtureComponent& comp = s.encoding.Component(c);
+    std::printf("  cluster %zu: weight %.4f, |L| %llu, verbosity %zu\n", c,
+                comp.weight,
+                static_cast<unsigned long long>(comp.encoding.LogSize()),
+                comp.encoding.Verbosity());
+  }
+  return 0;
+}
+
+int RunEstimate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  PersistedSummary s;
+  std::string error;
+  if (!ReadSummaryFile(argv[2], &s, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::vector<FeatureId> ids;
+  for (int i = 3; i < argc; ++i) {
+    std::string spec = argv[i];
+    std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "feature spec must be CLAUSE:TEXT, got %s\n",
+                   spec.c_str());
+      return 2;
+    }
+    FeatureClause clause;
+    if (!ParseClause(spec.substr(0, colon), &clause)) {
+      std::fprintf(stderr, "unknown clause in %s\n", spec.c_str());
+      return 2;
+    }
+    Feature feat{clause, spec.substr(colon + 1)};
+    FeatureId id = s.vocabulary.Find(feat);
+    if (id == Vocabulary::kNotFound) {
+      std::printf("feature %s never occurs in the summarized log; "
+                  "estimate 0\n",
+                  feat.ToString().c_str());
+      return 0;
+    }
+    ids.push_back(id);
+  }
+  FeatureVec pattern(std::move(ids));
+  std::printf("est[ count ] = %.2f of %llu queries (marginal %.6f)\n",
+              s.encoding.EstimateCount(pattern),
+              static_cast<unsigned long long>(s.encoding.LogSize()),
+              s.encoding.EstimateMarginal(pattern));
+  return 0;
+}
+
+int RunVisualize(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  PersistedSummary s;
+  std::string error;
+  if (!ReadSummaryFile(argv[2], &s, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::fputs(RenderMixture(s.vocabulary, s.encoding).c_str(), stdout);
+  return 0;
+}
+
+int RunDemo() {
+  PocketDataOptions gen;
+  gen.num_distinct = 200;
+  gen.total_queries = 100000;
+  std::vector<LogEntry> entries = GeneratePocketDataLog(gen);
+  LogLoader loader = LoadEntries(entries);
+  QueryLog log = loader.TakeLog();
+  LogROptions opts;
+  opts.num_clusters = 6;
+  LogRSummary summary = Compress(log, opts);
+  std::printf("demo: %llu queries -> %zu clusters, error %.3f nats, "
+              "verbosity %zu\n",
+              static_cast<unsigned long long>(log.TotalQueries()),
+              summary.encoding.NumComponents(), summary.encoding.Error(),
+              summary.encoding.TotalVerbosity());
+  std::string error;
+  if (!WriteSummaryFile("demo_summary.logr", log.vocabulary(),
+                        summary.encoding, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote demo_summary.logr — try:\n"
+              "  logr_cli info demo_summary.logr\n"
+              "  logr_cli estimate demo_summary.logr \"FROM:messages\"\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "compress") == 0) return RunCompress(argc, argv);
+  if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
+  if (std::strcmp(argv[1], "estimate") == 0) return RunEstimate(argc, argv);
+  if (std::strcmp(argv[1], "visualize") == 0) return RunVisualize(argc, argv);
+  if (std::strcmp(argv[1], "demo") == 0) return RunDemo();
+  return Usage();
+}

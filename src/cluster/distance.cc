@@ -1,0 +1,69 @@
+#include "cluster/distance.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace logr {
+
+std::string DistanceSpec::Name() const {
+  switch (metric) {
+    case Metric::kEuclidean: return "euclidean";
+    case Metric::kManhattan: return "manhattan";
+    case Metric::kMinkowski: return StrFormat("minkowski(p=%.0f)", p);
+    case Metric::kHamming: return "hamming";
+    case Metric::kChebyshev: return "chebyshev";
+    case Metric::kCanberra: return "canberra";
+  }
+  return "?";
+}
+
+std::size_t SymmetricDifference(const FeatureVec& a, const FeatureVec& b) {
+  std::size_t inter = a.IntersectionSize(b);
+  return a.size() + b.size() - 2 * inter;
+}
+
+double Distance(const FeatureVec& a, const FeatureVec& b, std::size_t n,
+                const DistanceSpec& spec) {
+  double diff = static_cast<double>(SymmetricDifference(a, b));
+  switch (spec.metric) {
+    case Metric::kEuclidean:
+      return std::sqrt(diff);
+    case Metric::kManhattan:
+      return diff;
+    case Metric::kMinkowski:
+      LOGR_DCHECK(spec.p >= 1.0);
+      return std::pow(diff, 1.0 / spec.p);
+    case Metric::kHamming:
+      // count(x != y) / (count(x != y) + count(x == y)) over all n
+      // coordinates — the paper's normalized Hamming distance.
+      LOGR_CHECK(n > 0);
+      return diff / static_cast<double>(n);
+    case Metric::kChebyshev:
+      // Max per-coordinate difference of 0/1 vectors: 0 or 1.
+      return diff > 0.0 ? 1.0 : 0.0;
+    case Metric::kCanberra:
+      // Per-coordinate |x-y|/(|x|+|y|) is 1 where the vectors differ and
+      // 0 elsewhere (0/0 := 0), so Canberra equals the unnormalized
+      // Hamming count on binary data.
+      return diff;
+  }
+  return 0.0;
+}
+
+Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
+                      const DistanceSpec& spec) {
+  const std::size_t count = vecs.size();
+  Matrix d(count, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i + 1; j < count; ++j) {
+      double v = Distance(vecs[i], vecs[j], n, spec);
+      d(i, j) = v;
+      d(j, i) = v;
+    }
+  }
+  return d;
+}
+
+}  // namespace logr

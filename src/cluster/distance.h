@@ -1,0 +1,48 @@
+// Distance measures over binary sparse feature vectors (paper Sec. 6.1).
+//
+// The paper evaluates KMeans with Euclidean distance and Spectral
+// clustering with Manhattan, Minkowski (p=4) and Hamming distances, and
+// mentions Chebyshev and Canberra as also-rans. On 0/1 vectors every one
+// of these is a function of the symmetric-difference count, which the
+// sparse kernels exploit.
+#ifndef LOGR_CLUSTER_DISTANCE_H_
+#define LOGR_CLUSTER_DISTANCE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "workload/feature_vec.h"
+
+namespace logr {
+
+enum class Metric {
+  kEuclidean,
+  kManhattan,
+  kMinkowski,  // l_p, parameterized by DistanceSpec::p
+  kHamming,    // count(x != y) / n  (paper's normalized form)
+  kChebyshev,
+  kCanberra,
+};
+
+struct DistanceSpec {
+  Metric metric = Metric::kEuclidean;
+  double p = 4.0;  // Minkowski order (paper uses p = 4)
+
+  std::string Name() const;
+};
+
+/// Number of coordinates on which `a` and `b` differ.
+std::size_t SymmetricDifference(const FeatureVec& a, const FeatureVec& b);
+
+/// Distance between two binary sparse vectors in an `n`-feature universe.
+double Distance(const FeatureVec& a, const FeatureVec& b, std::size_t n,
+                const DistanceSpec& spec);
+
+/// Full pairwise distance matrix of `vecs`.
+Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
+                      const DistanceSpec& spec);
+
+}  // namespace logr
+
+#endif  // LOGR_CLUSTER_DISTANCE_H_

@@ -1,0 +1,163 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace logr {
+
+namespace {
+
+/// Union-find over leaf ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    int ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<int> Dendrogram::CutToK(std::size_t k) const {
+  LOGR_CHECK(k >= 1);
+  const std::size_t n = num_leaves;
+  k = std::min(k, n);
+
+  // Node -> representative leaf: a merge's subtree is represented by the
+  // representative of its first argument, resolved transitively.
+  std::vector<int> rep(n + merge_a.size());
+  for (std::size_t i = 0; i < n; ++i) rep[i] = static_cast<int>(i);
+  for (std::size_t i = 0; i < merge_a.size(); ++i) {
+    rep[n + i] = rep[merge_a[i]];
+  }
+
+  // Apply merges in ascending height order until K components remain.
+  std::vector<std::size_t> order(merge_a.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return height[a] < height[b];
+  });
+  DisjointSets sets(n);
+  std::size_t components = n;
+  for (std::size_t idx : order) {
+    if (components <= k) break;
+    if (sets.Union(rep[merge_a[idx]], rep[merge_b[idx]])) --components;
+  }
+
+  // Densify component labels.
+  std::vector<int> label(n, -1);
+  std::vector<int> assignment(n);
+  int next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    int root = sets.Find(static_cast<int>(i));
+    if (label[root] < 0) label[root] = next++;
+    assignment[i] = label[root];
+  }
+  return assignment;
+}
+
+Dendrogram AgglomerativeAverageLinkage(const Matrix& distances,
+                                       const std::vector<double>& weights) {
+  const std::size_t n = distances.rows();
+  LOGR_CHECK(distances.cols() == n && n >= 1);
+
+  Dendrogram out;
+  out.num_leaves = n;
+  if (n == 1) return out;
+
+  // Working distance matrix over active nodes; node ids grow as merges
+  // happen, but we reuse slot of the first merged node for the result to
+  // keep the matrix n x n.
+  Matrix d = distances;
+  std::vector<double> mass(n, 1.0);
+  if (!weights.empty()) {
+    LOGR_CHECK(weights.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mass[i] = weights[i] > 0.0 ? weights[i] : 1e-12;
+    }
+  }
+  std::vector<bool> active(n, true);
+  // slot -> current dendrogram node id occupying it
+  std::vector<int> node_of_slot(n);
+  std::iota(node_of_slot.begin(), node_of_slot.end(), 0);
+
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t remaining = n;
+
+  auto nearest = [&](std::size_t a) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t arg = a;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!active[j] || j == a) continue;
+      // Deterministic tie-break on index.
+      if (d(a, j) < best || (d(a, j) == best && j < arg)) {
+        best = d(a, j);
+        arg = j;
+      }
+    }
+    return std::make_pair(arg, best);
+  };
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+      }
+    }
+    for (;;) {
+      std::size_t a = chain.back();
+      auto [b, dist_ab] = nearest(a);
+      if (chain.size() >= 2 && b == chain[chain.size() - 2]) {
+        // Reciprocal nearest neighbors: merge slots a and b.
+        chain.pop_back();
+        chain.pop_back();
+        int node_a = node_of_slot[a];
+        int node_b = node_of_slot[b];
+        out.merge_a.push_back(node_a);
+        out.merge_b.push_back(node_b);
+        out.height.push_back(dist_ab);
+        // Lance-Williams weighted average-linkage update into slot a.
+        double ma = mass[a], mb = mass[b];
+        for (std::size_t j2 = 0; j2 < n; ++j2) {
+          if (!active[j2] || j2 == a || j2 == b) continue;
+          double nd = (ma * d(a, j2) + mb * d(b, j2)) / (ma + mb);
+          d(a, j2) = nd;
+          d(j2, a) = nd;
+        }
+        mass[a] = ma + mb;
+        active[b] = false;
+        node_of_slot[a] =
+            static_cast<int>(n + out.merge_a.size() - 1);
+        --remaining;
+        break;
+      }
+      chain.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace logr

@@ -1,0 +1,48 @@
+// Weighted k-means with k-means++ initialization (paper Sec. 6.1 uses
+// sklearn KMeans with Euclidean distance; we cluster the distinct query
+// vectors weighted by multiplicity, which is equivalent to clustering the
+// raw log).
+//
+// Two input forms are supported: sparse binary vectors (query logs) and
+// dense points (spectral embeddings).
+#ifndef LOGR_CLUSTER_KMEANS_H_
+#define LOGR_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "workload/feature_vec.h"
+
+namespace logr {
+
+struct KMeansOptions {
+  std::size_t k = 1;
+  int max_iterations = 100;
+  /// Number of random restarts; the run with lowest inertia wins
+  /// (sklearn's n_init).
+  int n_init = 4;
+  std::uint64_t seed = 17;
+};
+
+struct ClusteringResult {
+  std::vector<int> assignment;  // cluster id per input index
+  std::size_t k = 0;            // number of clusters requested
+  double inertia = 0.0;         // weighted sum of squared distances
+  int iterations = 0;           // Lloyd iterations of the winning run
+};
+
+/// K-means on sparse binary vectors in an `n`-feature universe. `weights`
+/// may be empty (all ones) or give one non-negative weight per vector.
+ClusteringResult KMeansSparse(const std::vector<FeatureVec>& vecs,
+                              const std::vector<double>& weights,
+                              std::size_t n, const KMeansOptions& opts);
+
+/// K-means on dense points (rows of equal length).
+ClusteringResult KMeansDense(const std::vector<Vector>& points,
+                             const std::vector<double>& weights,
+                             const KMeansOptions& opts);
+
+}  // namespace logr
+
+#endif  // LOGR_CLUSTER_KMEANS_H_

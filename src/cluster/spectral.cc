@@ -1,0 +1,100 @@
+#include "cluster/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/symmetric_eigen.h"
+#include "util/check.h"
+
+namespace logr {
+
+ClusteringResult SpectralCluster(const std::vector<FeatureVec>& vecs,
+                                 const std::vector<double>& weights,
+                                 std::size_t n,
+                                 const SpectralOptions& opts) {
+  const std::size_t count = vecs.size();
+  LOGR_CHECK(count > 0 && opts.k >= 1);
+  const std::size_t k = std::min(opts.k, count);
+  if (k == 1 || count == 1) {
+    ClusteringResult r;
+    r.assignment.assign(count, 0);
+    r.k = 1;
+    return r;
+  }
+
+  // Pairwise distances and median bandwidth.
+  Matrix dist = DistanceMatrix(vecs, n, opts.distance);
+  double sigma = opts.sigma;
+  if (sigma <= 0.0) {
+    std::vector<double> nonzero;
+    nonzero.reserve(count * (count - 1) / 2);
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t j = i + 1; j < count; ++j) {
+        if (dist(i, j) > 0.0) nonzero.push_back(dist(i, j));
+      }
+    }
+    if (nonzero.empty()) {
+      sigma = 1.0;
+    } else {
+      std::nth_element(nonzero.begin(), nonzero.begin() + nonzero.size() / 2,
+                       nonzero.end());
+      sigma = nonzero[nonzero.size() / 2];
+      if (sigma <= 0.0) sigma = 1.0;
+    }
+  }
+
+  // Gaussian affinity and degree.
+  Matrix w(count, count);
+  Vector degree(count, 0.0);
+  const double inv = 1.0 / (2.0 * sigma * sigma);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      double a = (i == j) ? 1.0 : std::exp(-dist(i, j) * dist(i, j) * inv);
+      w(i, j) = a;
+      degree[i] += a;
+    }
+  }
+  // Normalized affinity M = D^{-1/2} W D^{-1/2}; its top-k eigenvectors
+  // equal the bottom-k of the symmetric normalized Laplacian.
+  Vector dinv_sqrt(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    LOGR_CHECK(degree[i] > 0.0);
+    dinv_sqrt[i] = 1.0 / std::sqrt(degree[i]);
+  }
+  auto matvec = [&](const Vector& x, Vector* y) {
+    Vector scaled(count);
+    for (std::size_t i = 0; i < count; ++i) scaled[i] = x[i] * dinv_sqrt[i];
+    Vector wx = w.MatVec(scaled);
+    y->resize(count);
+    for (std::size_t i = 0; i < count; ++i) (*y)[i] = wx[i] * dinv_sqrt[i];
+  };
+
+  EigenResult eig = LanczosLargest(matvec, count, k, opts.seed);
+  const std::size_t found = eig.eigenvectors.size();
+  LOGR_CHECK(found >= 1);
+
+  // Row-normalized spectral embedding.
+  std::vector<Vector> embedding(count, Vector(found, 0.0));
+  for (std::size_t i = 0; i < count; ++i) {
+    double norm = 0.0;
+    for (std::size_t c = 0; c < found; ++c) {
+      double v = eig.eigenvectors[c][i];
+      embedding[i][c] = v;
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (double& v : embedding[i]) v /= norm;
+    }
+  }
+
+  KMeansOptions km;
+  km.k = k;
+  km.seed = opts.seed;
+  km.n_init = opts.n_init;
+  ClusteringResult r = KMeansDense(embedding, weights, km);
+  r.k = k;
+  return r;
+}
+
+}  // namespace logr

@@ -1,0 +1,32 @@
+// Spectral clustering (Ng-Jordan-Weiss style, paper Sec. 6.1 [31]).
+//
+// Pipeline: pairwise distances under the chosen metric -> Gaussian
+// affinity with a median-distance bandwidth -> symmetric-normalized
+// affinity D^{-1/2} W D^{-1/2} -> k leading eigenvectors via Lanczos ->
+// row-normalized embedding -> weighted k-means.
+#ifndef LOGR_CLUSTER_SPECTRAL_H_
+#define LOGR_CLUSTER_SPECTRAL_H_
+
+#include "cluster/distance.h"
+#include "cluster/kmeans.h"
+
+namespace logr {
+
+struct SpectralOptions {
+  std::size_t k = 1;
+  DistanceSpec distance;
+  /// Gaussian kernel bandwidth; 0 selects the median pairwise distance.
+  double sigma = 0.0;
+  std::uint64_t seed = 17;
+  /// Restarts for the embedded k-means stage.
+  int n_init = 4;
+};
+
+/// Spectral clustering of sparse binary vectors in an n-feature universe.
+ClusteringResult SpectralCluster(const std::vector<FeatureVec>& vecs,
+                                 const std::vector<double>& weights,
+                                 std::size_t n, const SpectralOptions& opts);
+
+}  // namespace logr
+
+#endif  // LOGR_CLUSTER_SPECTRAL_H_

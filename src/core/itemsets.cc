@@ -1,0 +1,106 @@
+#include "core/itemsets.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace logr {
+
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const std::vector<FeatureVec>& rows, const std::vector<double>& weights,
+    const AprioriOptions& opts) {
+  const std::size_t count = rows.size();
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(count, 1.0);
+  LOGR_CHECK(w.size() == count);
+  double total = 0.0;
+  for (double v : w) total += v;
+  if (total <= 0.0) return {};
+
+  // Level 1: frequent single items.
+  std::unordered_map<FeatureId, double> single;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (FeatureId f : rows[i].ids) single[f] += w[i];
+  }
+  std::vector<FrequentItemset> frontier;
+  for (const auto& [f, mass] : single) {
+    double support = mass / total;
+    if (support >= opts.min_support) {
+      FrequentItemset fi;
+      fi.items = FeatureVec({f});
+      fi.support = support;
+      frontier.push_back(std::move(fi));
+    }
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items.ids[0] < b.items.ids[0];
+            });
+
+  std::vector<FrequentItemset> all;
+  if (opts.min_size <= 1) all = frontier;
+
+  // Level k -> k+1: join itemsets sharing a (k-1)-prefix, count supports
+  // in one pass over rows, prune below min_support.
+  for (std::size_t level = 2;
+       level <= opts.max_size && frontier.size() > 1; ++level) {
+    // Generate candidates.
+    std::vector<FeatureVec> candidates;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (std::size_t j = i + 1; j < frontier.size(); ++j) {
+        const auto& a = frontier[i].items.ids;
+        const auto& b = frontier[j].items.ids;
+        // Same (k-1)-prefix (frontier is lexicographically sorted).
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+          continue;
+        }
+        std::vector<FeatureId> merged(a.begin(), a.end());
+        merged.push_back(b.back());
+        candidates.emplace_back(std::move(merged));
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Count supports.
+    std::vector<double> mass(candidates.size(), 0.0);
+    for (std::size_t r = 0; r < count; ++r) {
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (rows[r].ContainsAll(candidates[c])) mass[c] += w[r];
+      }
+    }
+
+    std::vector<FrequentItemset> next;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      double support = mass[c] / total;
+      if (support >= opts.min_support) {
+        FrequentItemset fi;
+        fi.items = std::move(candidates[c]);
+        fi.support = support;
+        next.push_back(std::move(fi));
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const FrequentItemset& a, const FrequentItemset& b) {
+                return a.items.ids < b.items.ids;
+              });
+    if (level >= opts.min_size) {
+      all.insert(all.end(), next.begin(), next.end());
+    }
+    frontier = std::move(next);
+  }
+
+  std::sort(all.begin(), all.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() > b.items.size();
+              }
+              return a.items.ids < b.items.ids;
+            });
+  if (all.size() > opts.max_results) all.resize(opts.max_results);
+  return all;
+}
+
+}  // namespace logr

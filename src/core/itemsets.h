@@ -1,0 +1,37 @@
+// Weighted Apriori frequent-itemset mining.
+//
+// Candidate patterns for naive-encoding refinement (paper Sec. 6.4) and
+// for the MTV baseline (which the MTV paper seeds with frequent itemsets
+// above a minimum support; the paper uses min-support 0.05, App. D.2).
+#ifndef LOGR_CORE_ITEMSETS_H_
+#define LOGR_CORE_ITEMSETS_H_
+
+#include <vector>
+
+#include "workload/feature_vec.h"
+
+namespace logr {
+
+struct FrequentItemset {
+  FeatureVec items;
+  double support = 0.0;  // weighted fraction of rows containing the items
+};
+
+struct AprioriOptions {
+  double min_support = 0.05;
+  std::size_t max_size = 4;       // max items per set
+  std::size_t max_results = 5000; // global cap (highest-support kept)
+  /// Only itemsets with at least this many items are reported (singletons
+  /// rarely help refinement since naive encodings already carry them).
+  std::size_t min_size = 1;
+};
+
+/// Mines frequent itemsets from weighted transactions. `weights` may be
+/// empty (uniform). Results are sorted by descending support, then size.
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const std::vector<FeatureVec>& rows, const std::vector<double>& weights,
+    const AprioriOptions& opts);
+
+}  // namespace logr
+
+#endif  // LOGR_CORE_ITEMSETS_H_

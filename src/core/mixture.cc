@@ -1,0 +1,76 @@
+#include "core/mixture.h"
+
+#include "util/check.h"
+
+namespace logr {
+
+NaiveMixtureEncoding NaiveMixtureEncoding::FromPartition(
+    const QueryLog& log, const std::vector<int>& assignment, std::size_t k) {
+  LOGR_CHECK(assignment.size() == log.NumDistinct());
+  NaiveMixtureEncoding out;
+  const double total = static_cast<double>(log.TotalQueries());
+  LOGR_CHECK(total > 0.0);
+
+  for (std::size_t c = 0; c < k; ++c) {
+    MixtureComponent comp;
+    std::vector<FeatureVec> vecs;
+    std::vector<double> weights;
+    std::uint64_t count = 0;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      if (static_cast<std::size_t>(assignment[i]) != c) continue;
+      comp.members.push_back(i);
+      vecs.push_back(log.Vector(i));
+      weights.push_back(static_cast<double>(log.Multiplicity(i)));
+      count += log.Multiplicity(i);
+    }
+    if (comp.members.empty()) continue;  // empty clusters are dropped
+    comp.weight = static_cast<double>(count) / total;
+    comp.encoding =
+        NaiveEncoding::FromWeighted(vecs, weights, log.NumFeatures(), count);
+    out.components_.push_back(std::move(comp));
+  }
+  return out;
+}
+
+NaiveMixtureEncoding NaiveMixtureEncoding::FromComponents(
+    std::vector<MixtureComponent> components) {
+  NaiveMixtureEncoding out;
+  out.components_ = std::move(components);
+  return out;
+}
+
+double NaiveMixtureEncoding::Error() const {
+  double e = 0.0;
+  for (const auto& c : components_) {
+    e += c.weight * c.encoding.ReproductionError();
+  }
+  return e;
+}
+
+std::size_t NaiveMixtureEncoding::TotalVerbosity() const {
+  std::size_t v = 0;
+  for (const auto& c : components_) v += c.encoding.Verbosity();
+  return v;
+}
+
+double NaiveMixtureEncoding::EstimateCount(const FeatureVec& b) const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.encoding.EstimateCount(b);
+  return acc;
+}
+
+double NaiveMixtureEncoding::EstimateMarginal(const FeatureVec& b) const {
+  double acc = 0.0;
+  for (const auto& c : components_) {
+    acc += c.weight * c.encoding.EstimateMarginal(b);
+  }
+  return acc;
+}
+
+std::uint64_t NaiveMixtureEncoding::LogSize() const {
+  std::uint64_t total = 0;
+  for (const auto& c : components_) total += c.encoding.LogSize();
+  return total;
+}
+
+}  // namespace logr

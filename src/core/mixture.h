@@ -1,0 +1,61 @@
+// Naive pattern mixture encodings (paper Section 5): the log is
+// partitioned, each partition is encoded naively, and encodings are
+// combined with weights w_i = |L_i| / |L|.
+#ifndef LOGR_CORE_MIXTURE_H_
+#define LOGR_CORE_MIXTURE_H_
+
+#include <vector>
+
+#include "core/naive_encoding.h"
+#include "workload/query_log.h"
+
+namespace logr {
+
+struct MixtureComponent {
+  double weight = 0.0;           // w_i = |L_i| / |L|
+  NaiveEncoding encoding;
+  std::vector<std::size_t> members;  // distinct-vector indices of the log
+};
+
+class NaiveMixtureEncoding {
+ public:
+  NaiveMixtureEncoding() = default;
+
+  /// Builds the mixture over a clustering `assignment` of the log's
+  /// distinct vectors (values in [0, k)).
+  static NaiveMixtureEncoding FromPartition(const QueryLog& log,
+                                            const std::vector<int>& assignment,
+                                            std::size_t k);
+
+  /// Assembles a mixture from pre-built components (deserialization or
+  /// incremental construction). Weights should sum to ~1.
+  static NaiveMixtureEncoding FromComponents(
+      std::vector<MixtureComponent> components);
+
+  std::size_t NumComponents() const { return components_.size(); }
+  const MixtureComponent& Component(std::size_t i) const {
+    return components_[i];
+  }
+
+  /// Generalized Reproduction Error Σ_i w_i · e(S_i) (Sec. 5.2).
+  double Error() const;
+
+  /// Total Verbosity Σ_i |S_i| (Sec. 5.2).
+  std::size_t TotalVerbosity() const;
+
+  /// est[Γ_b(L)] = Σ_i est[Γ_b(L_i) | E_i] (Sec. 6.2).
+  double EstimateCount(const FeatureVec& b) const;
+
+  /// Mixture marginal estimate Σ_i w_i · Π_{f∈b} p_i(f).
+  double EstimateMarginal(const FeatureVec& b) const;
+
+  /// Total queries across components.
+  std::uint64_t LogSize() const;
+
+ private:
+  std::vector<MixtureComponent> components_;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_CORE_MIXTURE_H_

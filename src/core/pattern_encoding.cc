@@ -1,0 +1,21 @@
+#include "core/pattern_encoding.h"
+
+#include "util/check.h"
+
+namespace logr {
+
+PatternEncoding::PatternEncoding(const QueryLog& log,
+                                 std::vector<FeatureVec> patterns,
+                                 const ScalingOptions& opts)
+    : patterns_(std::move(patterns)) {
+  log_size_ = log.TotalQueries();
+  empirical_entropy_ = log.EmpiricalEntropy();
+  marginals_.reserve(patterns_.size());
+  for (const FeatureVec& b : patterns_) {
+    marginals_.push_back(log.Marginal(b));
+  }
+  space_ = std::make_unique<SignatureSpace>(patterns_, log.NumFeatures());
+  model_ = std::make_unique<MaxEntModel>(space_.get(), marginals_, opts);
+}
+
+}  // namespace logr

@@ -1,0 +1,63 @@
+// General pattern-based encodings (paper Section 2.3.1).
+//
+// A pattern encoding maps arbitrary patterns to their marginals. Its
+// max-ent representative has no closed form; it is fitted by iterative
+// scaling over the containment-equivalence lattice (maxent/). This is the
+// encoding family produced by Laserlight and MTV when used as log
+// summarizers (Sec. 7.2, Fig. 5b).
+#ifndef LOGR_CORE_PATTERN_ENCODING_H_
+#define LOGR_CORE_PATTERN_ENCODING_H_
+
+#include <memory>
+#include <vector>
+
+#include "maxent/scaling.h"
+#include "maxent/signature_space.h"
+#include "workload/query_log.h"
+
+namespace logr {
+
+class PatternEncoding {
+ public:
+  /// Builds the encoding of `patterns` with marginals measured on `log`,
+  /// over the log's full feature universe, and fits the max-ent model.
+  /// Requires patterns.size() <= 20 (lattice is materialized).
+  PatternEncoding(const QueryLog& log, std::vector<FeatureVec> patterns,
+                  const ScalingOptions& opts = ScalingOptions());
+
+  std::size_t Verbosity() const { return patterns_.size(); }
+  const std::vector<FeatureVec>& patterns() const { return patterns_; }
+  const std::vector<double>& marginals() const { return marginals_; }
+
+  /// H(ρ_E) of the fitted max-ent representative (nats).
+  double MaxEntEntropy() const { return model_->EntropyNats(); }
+
+  /// Reproduction Error e(E) = H(ρ_E) - H(ρ*).
+  double ReproductionError() const {
+    return MaxEntEntropy() - empirical_entropy_;
+  }
+
+  /// Model marginal of an arbitrary pattern.
+  double EstimateMarginal(const FeatureVec& b) const {
+    return model_->MarginalOf(b);
+  }
+
+  /// Estimated count est[Γ_b(L) | E].
+  double EstimateCount(const FeatureVec& b) const {
+    return static_cast<double>(log_size_) * EstimateMarginal(b);
+  }
+
+  const MaxEntModel& model() const { return *model_; }
+
+ private:
+  std::vector<FeatureVec> patterns_;
+  std::vector<double> marginals_;
+  std::unique_ptr<SignatureSpace> space_;
+  std::unique_ptr<MaxEntModel> model_;
+  double empirical_entropy_ = 0.0;
+  std::uint64_t log_size_ = 0;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_CORE_PATTERN_ENCODING_H_

@@ -1,0 +1,168 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace logr {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+FeatureClause ClauseFromInt(int v) {
+  switch (v) {
+    case 0: return FeatureClause::kSelect;
+    case 1: return FeatureClause::kFrom;
+    case 2: return FeatureClause::kWhere;
+    case 3: return FeatureClause::kGroupBy;
+    case 4: return FeatureClause::kOrderBy;
+    default: return FeatureClause::kLimit;
+  }
+}
+
+}  // namespace
+
+void WriteSummary(const Vocabulary& vocab,
+                  const NaiveMixtureEncoding& encoding, std::ostream* out) {
+  std::ostream& os = *out;
+  os << "logr-summary v1\n";
+  os << "features " << vocab.size() << "\n";
+  os.precision(17);
+  for (FeatureId f = 0; f < vocab.size(); ++f) {
+    const Feature& feat = vocab.Get(f);
+    os << "f " << static_cast<int>(feat.clause) << " " << feat.text << "\n";
+  }
+  os << "clusters " << encoding.NumComponents() << "\n";
+  for (std::size_t c = 0; c < encoding.NumComponents(); ++c) {
+    const MixtureComponent& comp = encoding.Component(c);
+    os << "cluster " << comp.weight << " " << comp.encoding.LogSize() << " "
+       << comp.encoding.EmpiricalEntropy() << " "
+       << comp.encoding.Verbosity() << "\n";
+    for (std::size_t i = 0; i < comp.encoding.features().size(); ++i) {
+      os << "m " << comp.encoding.features()[i] << " "
+         << comp.encoding.marginals()[i] << "\n";
+    }
+  }
+}
+
+bool ReadSummary(std::istream* in, PersistedSummary* summary,
+                 std::string* error) {
+  std::istream& is = *in;
+  std::string line;
+
+  auto next_line = [&](std::string* out_line) {
+    while (std::getline(is, *out_line)) {
+      if (!out_line->empty() && (*out_line)[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line(&line) || line != "logr-summary v1") {
+    return Fail(error, "missing or unsupported header");
+  }
+  if (!next_line(&line)) return Fail(error, "truncated: features");
+  std::size_t n_features = 0;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> n_features) || tag != "features") {
+      return Fail(error, "malformed features line: " + line);
+    }
+  }
+  for (std::size_t f = 0; f < n_features; ++f) {
+    if (!next_line(&line)) return Fail(error, "truncated feature list");
+    std::istringstream ls(line);
+    std::string tag;
+    int clause = 0;
+    if (!(ls >> tag >> clause) || tag != "f") {
+      return Fail(error, "malformed feature line: " + line);
+    }
+    std::string text;
+    std::getline(ls, text);
+    if (!text.empty() && text[0] == ' ') text.erase(0, 1);
+    Feature feat{ClauseFromInt(clause), text};
+    FeatureId id = summary->vocabulary.Intern(feat);
+    if (id != f) return Fail(error, "duplicate feature in codebook: " + text);
+  }
+
+  if (!next_line(&line)) return Fail(error, "truncated: clusters");
+  std::size_t n_clusters = 0;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> n_clusters) || tag != "clusters") {
+      return Fail(error, "malformed clusters line: " + line);
+    }
+  }
+  std::vector<MixtureComponent> components;
+  components.reserve(n_clusters);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    if (!next_line(&line)) return Fail(error, "truncated cluster header");
+    std::istringstream ls(line);
+    std::string tag;
+    double weight = 0.0, empirical = 0.0;
+    std::uint64_t log_size = 0;
+    std::size_t n_marginals = 0;
+    if (!(ls >> tag >> weight >> log_size >> empirical >> n_marginals) ||
+        tag != "cluster") {
+      return Fail(error, "malformed cluster line: " + line);
+    }
+    std::vector<FeatureId> features;
+    std::vector<double> marginals;
+    features.reserve(n_marginals);
+    marginals.reserve(n_marginals);
+    for (std::size_t i = 0; i < n_marginals; ++i) {
+      if (!next_line(&line)) return Fail(error, "truncated marginal list");
+      std::istringstream ms(line);
+      std::string mtag;
+      FeatureId f = 0;
+      double p = 0.0;
+      if (!(ms >> mtag >> f >> p) || mtag != "m") {
+        return Fail(error, "malformed marginal line: " + line);
+      }
+      if (f >= n_features) {
+        return Fail(error, "marginal references unknown feature id");
+      }
+      if (p < 0.0 || p > 1.0) {
+        return Fail(error, "marginal out of [0,1]: " + line);
+      }
+      features.push_back(f);
+      marginals.push_back(p);
+    }
+    MixtureComponent comp;
+    comp.weight = weight;
+    comp.encoding = NaiveEncoding::FromMarginals(
+        std::move(features), std::move(marginals), empirical, log_size);
+    components.push_back(std::move(comp));
+  }
+  summary->encoding =
+      NaiveMixtureEncoding::FromComponents(std::move(components));
+  return true;
+}
+
+bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
+                      const NaiveMixtureEncoding& encoding,
+                      std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open for writing: " + path);
+  WriteSummary(vocab, encoding, &out);
+  out.flush();
+  if (!out) return Fail(error, "write failed: " + path);
+  return true;
+}
+
+bool ReadSummaryFile(const std::string& path, PersistedSummary* summary,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open for reading: " + path);
+  return ReadSummary(&in, summary, error);
+}
+
+}  // namespace logr

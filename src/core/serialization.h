@@ -1,0 +1,52 @@
+// Persistence for LogR summaries.
+//
+// A compressed log is only useful if it can replace the log on disk: the
+// text format below stores the feature codebook once plus each cluster's
+// (weight, |L_i|, sparse marginals) — the entire content of a naive
+// mixture encoding. Loading reconstructs a summary that answers every
+// statistic query (EstimateCount / EstimateMarginal) identically.
+//
+// Format (line-oriented, "#"-comments ignored):
+//   logr-summary v1
+//   features <count>
+//   f <clause> <text...>            (one per feature, id = line order)
+//   clusters <count>
+//   cluster <weight> <log_size> <n_marginals>
+//   m <feature_id> <marginal>       (n_marginals lines)
+#ifndef LOGR_CORE_SERIALIZATION_H_
+#define LOGR_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mixture.h"
+#include "workload/query_log.h"
+
+namespace logr {
+
+/// A loaded summary: the codebook plus the mixture encoding. The
+/// original log is not needed to answer statistic queries.
+struct PersistedSummary {
+  Vocabulary vocabulary;
+  NaiveMixtureEncoding encoding;
+};
+
+/// Writes `encoding` (with `vocab` as its codebook) to `out`.
+void WriteSummary(const Vocabulary& vocab,
+                  const NaiveMixtureEncoding& encoding, std::ostream* out);
+
+/// Parses a summary written by WriteSummary. Returns false (and fills
+/// `error`) on malformed input.
+bool ReadSummary(std::istream* in, PersistedSummary* summary,
+                 std::string* error);
+
+/// Convenience file wrappers.
+bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
+                      const NaiveMixtureEncoding& encoding,
+                      std::string* error);
+bool ReadSummaryFile(const std::string& path, PersistedSummary* summary,
+                     std::string* error);
+
+}  // namespace logr
+
+#endif  // LOGR_CORE_SERIALIZATION_H_

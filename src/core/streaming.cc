@@ -1,0 +1,197 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "maxent/entropy.h"
+#include "util/check.h"
+
+namespace logr {
+
+namespace {
+
+double Marginal(std::uint64_t count, std::uint64_t total) {
+  return total == 0 ? 0.0
+                    : static_cast<double>(count) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+
+StreamingCompressor::StreamingCompressor(StreamingOptions opts)
+    : opts_(std::move(opts)) {
+  LOGR_CHECK(opts_.max_clusters >= 1);
+}
+
+double StreamingCompressor::Component::MarginalSquaredDistance(
+    const FeatureVec& q) const {
+  // ||q - p||^2 over the union of q's features and the component's
+  // support: features of q contribute (1 - p_f)^2, support features
+  // absent from q contribute p_f^2.
+  double acc = 0.0;
+  double support_sq = 0.0;
+  for (const auto& [f, c] : feature_counts) {
+    double p = Marginal(c, total);
+    support_sq += p * p;
+  }
+  acc = support_sq;
+  for (FeatureId f : q.ids) {
+    auto it = feature_counts.find(f);
+    double p = it == feature_counts.end() ? 0.0 : Marginal(it->second, total);
+    acc -= p * p;             // remove the support term...
+    acc += (1.0 - p) * (1.0 - p);  // ...and add the presence term
+  }
+  return acc;
+}
+
+double StreamingCompressor::Component::ReproductionError() const {
+  if (total == 0) return 0.0;
+  double maxent = 0.0;
+  for (const auto& [f, c] : feature_counts) {
+    maxent += BinaryEntropy(Marginal(c, total));
+  }
+  double empirical = 0.0;
+  for (const auto& [key, member] : members) {
+    double p = Marginal(member.second, total);
+    if (p > 0.0) empirical -= p * std::log(p);
+  }
+  return maxent - empirical;
+}
+
+NaiveEncoding StreamingCompressor::Component::ToEncoding() const {
+  std::vector<FeatureId> features;
+  std::vector<double> marginals;
+  features.reserve(feature_counts.size());
+  for (const auto& [f, c] : feature_counts) {
+    if (c > 0) features.push_back(f);
+  }
+  std::sort(features.begin(), features.end());
+  marginals.reserve(features.size());
+  for (FeatureId f : features) {
+    marginals.push_back(Marginal(feature_counts.at(f), total));
+  }
+  double empirical = 0.0;
+  for (const auto& [key, member] : members) {
+    double p = Marginal(member.second, total);
+    if (p > 0.0) empirical -= p * std::log(p);
+  }
+  return NaiveEncoding::FromMarginals(std::move(features),
+                                      std::move(marginals), empirical,
+                                      total);
+}
+
+void StreamingCompressor::Add(const FeatureVec& q, std::uint64_t count) {
+  LOGR_CHECK(count > 0);
+  if (components_.empty()) components_.emplace_back();
+
+  // Route to the nearest component centroid.
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    double d = components_[c].total == 0
+                   ? static_cast<double>(q.size())
+                   : components_[c].MarginalSquaredDistance(q);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  Component& comp = components_[best];
+  comp.total += count;
+  for (FeatureId f : q.ids) comp.feature_counts[f] += count;
+  auto [it, inserted] =
+      comp.members.try_emplace(q.HashKey(), std::make_pair(q, count));
+  if (!inserted) it->second.second += count;
+  total_ += count;
+
+  since_split_check_ += count;
+  if (since_split_check_ >= opts_.split_check_interval) {
+    since_split_check_ = 0;
+    MaybeSplit();
+  }
+}
+
+void StreamingCompressor::MaybeSplit() {
+  while (components_.size() < opts_.max_clusters) {
+    double worst_score = opts_.split_threshold;
+    std::size_t worst = components_.size();
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      const Component& comp = components_[c];
+      if (comp.members.size() < 2 || total_ == 0) continue;
+      double weight = Marginal(comp.total, total_);
+      double score = weight * comp.ReproductionError();
+      if (score > worst_score) {
+        worst_score = score;
+        worst = c;
+      }
+    }
+    if (worst == components_.size()) break;
+    SplitComponent(worst);
+  }
+}
+
+void StreamingCompressor::SplitComponent(std::size_t index) {
+  Component& source = components_[index];
+  std::vector<FeatureVec> vecs;
+  std::vector<double> weights;
+  std::vector<std::uint64_t> counts;
+  FeatureId max_feature = 0;
+  for (const auto& [key, member] : source.members) {
+    vecs.push_back(member.first);
+    weights.push_back(static_cast<double>(member.second));
+    counts.push_back(member.second);
+    if (!member.first.ids.empty()) {
+      max_feature = std::max(max_feature, member.first.ids.back());
+    }
+  }
+  KMeansOptions km;
+  km.k = 2;
+  km.seed = opts_.seed + 31 * components_.size();
+  km.n_init = 2;
+  ClusteringResult split = KMeansSparse(
+      vecs, weights, static_cast<std::size_t>(max_feature) + 1, km);
+
+  bool has_zero = false, has_one = false;
+  for (int a : split.assignment) {
+    has_zero |= (a == 0);
+    has_one |= (a == 1);
+  }
+  if (!has_zero || !has_one) return;  // degenerate; leave intact
+
+  Component left, right;
+  for (std::size_t i = 0; i < vecs.size(); ++i) {
+    Component& dst = split.assignment[i] == 0 ? left : right;
+    dst.total += counts[i];
+    for (FeatureId f : vecs[i].ids) dst.feature_counts[f] += counts[i];
+    dst.members.emplace(vecs[i].HashKey(),
+                        std::make_pair(vecs[i], counts[i]));
+  }
+  components_[index] = std::move(left);
+  components_.push_back(std::move(right));
+}
+
+NaiveMixtureEncoding StreamingCompressor::Snapshot() const {
+  std::vector<MixtureComponent> out;
+  out.reserve(components_.size());
+  for (const Component& comp : components_) {
+    if (comp.total == 0) continue;
+    MixtureComponent mc;
+    mc.weight = Marginal(comp.total, total_);
+    mc.encoding = comp.ToEncoding();
+    out.push_back(std::move(mc));
+  }
+  return NaiveMixtureEncoding::FromComponents(std::move(out));
+}
+
+double StreamingCompressor::Error() const {
+  double acc = 0.0;
+  for (const Component& comp : components_) {
+    if (comp.total == 0) continue;
+    acc += Marginal(comp.total, total_) * comp.ReproductionError();
+  }
+  return acc;
+}
+
+}  // namespace logr

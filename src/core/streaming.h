@@ -1,0 +1,80 @@
+// Streaming maintenance of a LogR summary (paper Sec. 2, "Online
+// Database Monitoring": real-time monitoring needs the typical-workload
+// frequency of query classes *as queries arrive*, without re-compressing
+// the backlog).
+//
+// StreamingCompressor keeps a naive mixture encoding incrementally:
+// each arriving query vector is routed to the component whose centroid
+// (the marginal vector) is nearest in expected squared distance, and
+// that component's marginals / counts are updated in O(#features of the
+// query + verbosity of the component). When a component's weighted
+// Reproduction-Error contribution exceeds `split_threshold`, it is
+// bisected with k-means — the streaming analogue of CompressAdaptive.
+//
+// Entropy bookkeeping is exact: each component tracks the multiset of
+// its distinct vectors, so the reported Error equals what a batch
+// rebuild would produce.
+#ifndef LOGR_CORE_STREAMING_H_
+#define LOGR_CORE_STREAMING_H_
+
+#include <unordered_map>
+
+#include "core/mixture.h"
+#include "workload/query_log.h"
+
+namespace logr {
+
+struct StreamingOptions {
+  /// Maximum number of components.
+  std::size_t max_clusters = 16;
+  /// A component is split when (weight * error) exceeds this many nats.
+  double split_threshold = 2.0;
+  /// Re-evaluate splits every this many arrivals.
+  std::uint64_t split_check_interval = 1024;
+  std::uint64_t seed = 51;
+};
+
+class StreamingCompressor {
+ public:
+  explicit StreamingCompressor(StreamingOptions opts = StreamingOptions());
+
+  /// Routes `count` copies of `q` into the summary.
+  void Add(const FeatureVec& q, std::uint64_t count = 1);
+
+  /// Materializes the current summary (weights, marginals, entropies are
+  /// exact for everything added so far).
+  NaiveMixtureEncoding Snapshot() const;
+
+  /// Current component count / totals.
+  std::size_t NumComponents() const { return components_.size(); }
+  std::uint64_t TotalQueries() const { return total_; }
+
+  /// Exact generalized Reproduction Error of the current summary.
+  double Error() const;
+
+ private:
+  struct Component {
+    // Distinct vectors with counts (the partition's log).
+    std::unordered_map<std::string, std::pair<FeatureVec, std::uint64_t>>
+        members;
+    // Feature occurrence counts (marginal numerators).
+    std::unordered_map<FeatureId, std::uint64_t> feature_counts;
+    std::uint64_t total = 0;
+
+    double MarginalSquaredDistance(const FeatureVec& q) const;
+    double ReproductionError() const;
+    NaiveEncoding ToEncoding() const;
+  };
+
+  void MaybeSplit();
+  void SplitComponent(std::size_t index);
+
+  StreamingOptions opts_;
+  std::vector<Component> components_;
+  std::uint64_t total_ = 0;
+  std::uint64_t since_split_check_ = 0;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_CORE_STREAMING_H_

@@ -1,0 +1,72 @@
+#include "core/synthesis.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace logr {
+
+SynthesisStats EvaluateSynthesis(const QueryLog& log,
+                                 const NaiveMixtureEncoding& mixture,
+                                 const SynthesisOptions& opts) {
+  Pcg32 rng(opts.seed);
+  SynthesisStats out;
+
+  for (std::size_t c = 0; c < mixture.NumComponents(); ++c) {
+    const MixtureComponent& comp = mixture.Component(c);
+    const NaiveEncoding& enc = comp.encoding;
+
+    // --- Synthesis error: sample patterns feature-by-feature from the
+    // encoding and check containment in the partition.
+    std::size_t hits = 0;
+    for (std::size_t s = 0; s < opts.samples_per_partition; ++s) {
+      std::vector<FeatureId> ids;
+      for (std::size_t i = 0; i < enc.features().size(); ++i) {
+        if (rng.NextBernoulli(enc.marginals()[i])) {
+          ids.push_back(enc.features()[i]);
+        }
+      }
+      FeatureVec pattern(std::move(ids));
+      // Positive marginal within this partition?
+      bool found = false;
+      for (std::size_t m : comp.members) {
+        if (log.Vector(m).ContainsAll(pattern)) {
+          found = true;
+          break;
+        }
+      }
+      if (found) ++hits;
+    }
+    double synth_err =
+        opts.samples_per_partition == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(hits) /
+                        static_cast<double>(opts.samples_per_partition);
+    out.synthesis_error += comp.weight * synth_err;
+
+    // --- Marginal deviation on the partition's distinct queries.
+    double partition_total = 0.0;
+    double dev_acc = 0.0;
+    for (std::size_t m : comp.members) {
+      const FeatureVec& q = log.Vector(m);
+      double w = static_cast<double>(log.Multiplicity(m));
+      // True count of q-as-pattern within this partition.
+      double truth = 0.0;
+      for (std::size_t m2 : comp.members) {
+        if (log.Vector(m2).ContainsAll(q)) {
+          truth += static_cast<double>(log.Multiplicity(m2));
+        }
+      }
+      double est = enc.EstimateCount(q);
+      LOGR_DCHECK(truth > 0.0);
+      dev_acc += w * std::fabs(est - truth) / truth;
+      partition_total += w;
+    }
+    if (partition_total > 0.0) {
+      out.marginal_deviation += comp.weight * (dev_acc / partition_total);
+    }
+  }
+  return out;
+}
+
+}  // namespace logr

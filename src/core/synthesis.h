@@ -1,0 +1,37 @@
+// Pattern synthesis and marginal-deviation evaluation of naive mixture
+// encodings (paper Section 6.3, Figure 3).
+#ifndef LOGR_CORE_SYNTHESIS_H_
+#define LOGR_CORE_SYNTHESIS_H_
+
+#include <cstdint>
+
+#include "core/mixture.h"
+#include "util/prng.h"
+#include "workload/query_log.h"
+
+namespace logr {
+
+struct SynthesisStats {
+  /// 1 - M/N where M of N synthesized patterns have positive marginal in
+  /// their source partition (weighted average across partitions).
+  double synthesis_error = 0.0;
+  /// |est - true| / true over distinct queries treated as patterns
+  /// (the paper's worst-case proxy), averaged within partitions weighted
+  /// by multiplicity, then across partitions by partition weight.
+  double marginal_deviation = 0.0;
+};
+
+struct SynthesisOptions {
+  std::size_t samples_per_partition = 2000;  // paper uses 10,000
+  std::uint64_t seed = 33;
+};
+
+/// Evaluates `mixture` against the log it was built from. `assignment`
+/// must be the clustering that produced the mixture.
+SynthesisStats EvaluateSynthesis(const QueryLog& log,
+                                 const NaiveMixtureEncoding& mixture,
+                                 const SynthesisOptions& opts);
+
+}  // namespace logr
+
+#endif  // LOGR_CORE_SYNTHESIS_H_

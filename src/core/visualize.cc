@@ -1,0 +1,101 @@
+#include "core/visualize.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace logr {
+
+namespace {
+
+struct Annotated {
+  double marginal;
+  std::string line;
+};
+
+void AppendClause(const char* label, std::vector<Annotated>* items,
+                  const VisualizeOptions& opts, std::string* out) {
+  if (items->empty()) return;
+  std::sort(items->begin(), items->end(),
+            [](const Annotated& a, const Annotated& b) {
+              return a.marginal > b.marginal;
+            });
+  out->append("  ");
+  out->append(label);
+  out->append("\n");
+  for (std::size_t i = 0; i < items->size() && i < opts.max_per_clause;
+       ++i) {
+    out->append("    ");
+    out->append((*items)[i].line);
+    out->append("\n");
+  }
+  if (items->size() > opts.max_per_clause) {
+    out->append(StrFormat("    ... %zu more\n",
+                          items->size() - opts.max_per_clause));
+  }
+}
+
+}  // namespace
+
+char MarginalGlyph(double marginal, const VisualizeOptions& opts) {
+  if (marginal >= opts.solid_threshold) return '#';
+  if (marginal >= opts.strong_threshold) return '+';
+  return '.';
+}
+
+std::string RenderCluster(const Vocabulary& vocab,
+                          const MixtureComponent& component,
+                          const VisualizeOptions& opts) {
+  const NaiveEncoding& enc = component.encoding;
+  std::string out = StrFormat(
+      "cluster: weight %.1f%%, |L| %llu, verbosity %zu, error %.3f\n",
+      100.0 * component.weight,
+      static_cast<unsigned long long>(enc.LogSize()), enc.Verbosity(),
+      enc.ReproductionError());
+
+  std::vector<Annotated> select_items, from_items, where_items, misc_items;
+  for (std::size_t i = 0; i < enc.features().size(); ++i) {
+    double m = enc.marginals()[i];
+    if (m < opts.min_marginal) continue;
+    const Feature& f = vocab.Get(enc.features()[i]);
+    Annotated a;
+    a.marginal = m;
+    a.line = StrFormat("%c %s", MarginalGlyph(m, opts), f.text.c_str());
+    switch (f.clause) {
+      case FeatureClause::kSelect: select_items.push_back(std::move(a)); break;
+      case FeatureClause::kFrom: from_items.push_back(std::move(a)); break;
+      case FeatureClause::kWhere: where_items.push_back(std::move(a)); break;
+      default: misc_items.push_back(std::move(a)); break;
+    }
+  }
+  if (select_items.empty() && from_items.empty() && where_items.empty() &&
+      misc_items.empty()) {
+    out += "  (features too diffuse to visualize — needs sub-clustering, "
+           "cf. App. E)\n";
+    return out;
+  }
+  AppendClause("SELECT", &select_items, opts, &out);
+  AppendClause("FROM", &from_items, opts, &out);
+  AppendClause("WHERE (conjunctive atoms)", &where_items, opts, &out);
+  AppendClause("OTHER", &misc_items, opts, &out);
+  return out;
+}
+
+std::string RenderMixture(const Vocabulary& vocab,
+                          const NaiveMixtureEncoding& encoding,
+                          const VisualizeOptions& opts) {
+  std::vector<std::size_t> order(encoding.NumComponents());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return encoding.Component(a).weight > encoding.Component(b).weight;
+  });
+  std::string out;
+  for (std::size_t i : order) {
+    out += RenderCluster(vocab, encoding.Component(i), opts);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace logr

@@ -1,0 +1,285 @@
+#include "data/bank.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/prng.h"
+#include "util/string_util.h"
+
+namespace logr {
+
+namespace {
+
+const char* kTables[] = {
+    "accounts",        "customers",       "transactions",
+    "branches",        "loans",           "cards",
+    "payments",        "ledger_entries",  "wire_transfers",
+    "atm_withdrawals", "fraud_alerts",    "credit_scores",
+    "statements",      "fees",            "positions",
+    "trades",          "fx_rates",        "counterparties",
+    "collateral",      "mortgages",       "audit_log",
+    "login_events",    "sessions",        "employees",
+    "departments",     "tellers",         "vault_inventory",
+    "check_images",    "ach_batches",     "swift_messages",
+    "compliance_cases","kyc_records",     "risk_limits",
+    "overdrafts",      "disputes",        "merchants",
+    "pos_terminals",   "rewards",         "beneficiaries",
+    "standing_orders", "currencies",      "regulatory_reports",
+    "portfolio_snaps", "interest_accrual","branch_hours",
+};
+
+const char* kColumnStems[] = {
+    "id",          "account_id",  "customer_id", "amount",
+    "balance",     "currency",    "status",      "created_at",
+    "updated_at",  "branch_id",   "type",        "description",
+    "reference",   "batch_id",    "officer_id",  "region",
+    "channel",     "score",       "limit_amt",   "rate",
+    "maturity",    "opened_on",   "closed_on",   "flag",
+    "category",    "subcategory", "priority",    "source_sys",
+    "external_id", "version",
+};
+
+const char* kStringConsts[] = {
+    "'NY'",     "'CA'",      "'ACTIVE'",  "'CLOSED'", "'PENDING'",
+    "'USD'",    "'EUR'",     "'RETAIL'",  "'WHOLESALE'", "'HIGH'",
+    "'2017-06-01'", "'2017-06-02'", "'ONLINE'", "'BRANCH'", "'WIRE'",
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<std::string> columns;
+};
+
+std::vector<TableSchema> BuildSchema(Pcg32* rng) {
+  std::vector<TableSchema> schema;
+  for (const char* t : kTables) {
+    TableSchema ts;
+    ts.name = t;
+    // Table-prefixed column names: distinct tables contribute distinct
+    // features, which is what gives the real bank log its 5,290-feature
+    // vocabulary over only 1,712 templates.
+    std::string prefix(t);
+    prefix = prefix.substr(0, prefix.find('_'));
+    if (prefix.size() > 5) prefix.resize(5);
+    std::size_t n_cols = 16 + rng->NextBounded(16);
+    std::set<std::string> used;
+    while (ts.columns.size() < n_cols) {
+      std::string stem =
+          prefix + "_" +
+          kColumnStems[rng->NextBounded(
+              static_cast<std::uint32_t>(std::size(kColumnStems)))];
+      // Suffix some columns to widen the per-table vocabulary.
+      if (rng->NextBernoulli(0.45)) {
+        stem += StrFormat("_%u", rng->NextBounded(9) + 1);
+      }
+      if (used.insert(stem).second) ts.columns.push_back(stem);
+    }
+    schema.push_back(std::move(ts));
+  }
+  return schema;
+}
+
+std::string RandomConstant(Pcg32* rng) {
+  if (rng->NextBernoulli(0.5)) {
+    return StrFormat("%u", rng->NextBounded(1000000));
+  }
+  return kStringConsts[rng->NextBounded(
+      static_cast<std::uint32_t>(std::size(kStringConsts)))];
+}
+
+struct Template {
+  std::string sql_with_params;  // '?' placeholders
+  bool human = false;           // human templates get constant variants
+  std::size_t n_params = 0;
+};
+
+Template MakeTemplate(const std::vector<TableSchema>& schema, Pcg32* rng) {
+  Template tpl;
+  const TableSchema& t1 =
+      schema[rng->NextBounded(static_cast<std::uint32_t>(schema.size()))];
+  tpl.human = rng->NextBernoulli(0.4);
+
+  // SELECT list.
+  std::string sql = "SELECT ";
+  if (rng->NextBernoulli(0.08)) {
+    sql += rng->NextBernoulli(0.5) ? "count(*)" : "*";
+  } else {
+    std::vector<std::string> cols = t1.columns;
+    rng->Shuffle(&cols);
+    std::size_t take = 3 + rng->NextBounded(6);
+    cols.resize(std::min(take, cols.size()));
+    std::sort(cols.begin(), cols.end());
+    if (rng->NextBernoulli(0.1)) cols[0] = "sum(" + cols[0] + ")";
+    sql += Join(cols, ", ");
+  }
+
+  // FROM (single table or a 2-way join).
+  sql += " FROM " + t1.name;
+  const TableSchema* t2 = nullptr;
+  if (rng->NextBernoulli(0.45)) {
+    t2 = &schema[rng->NextBounded(static_cast<std::uint32_t>(schema.size()))];
+    if (t2->name != t1.name) {
+      sql += " JOIN " + t2->name + " ON " + t1.name + "." + t1.columns[0] +
+             " = " + t2->name + "." + t2->columns[0];
+    } else {
+      t2 = nullptr;
+    }
+  }
+
+  // WHERE atoms.
+  static const char* kOps[] = {"=", "!=", ">", ">=", "<", "<="};
+  std::size_t n_atoms = 3 + rng->NextBounded(5);
+  std::vector<std::string> atoms;
+  for (std::size_t a = 0; a < n_atoms; ++a) {
+    const TableSchema& src = (t2 != nullptr && rng->NextBernoulli(0.3))
+                                 ? *t2
+                                 : t1;
+    const std::string& col =
+        src.columns[rng->NextBounded(
+            static_cast<std::uint32_t>(src.columns.size()))];
+    const char* op = rng->NextBernoulli(0.6)
+                         ? "="
+                         : kOps[rng->NextBounded(
+                               static_cast<std::uint32_t>(std::size(kOps)))];
+    atoms.push_back(col + " " + op + " ?");
+    ++tpl.n_params;
+  }
+  // Bank queries are mostly conjunctive (1494/1712 in Table 1): add a
+  // disjunctive element to only ~13% of templates.
+  if (rng->NextBernoulli(0.13)) {
+    const std::string& col =
+        t1.columns[rng->NextBounded(
+            static_cast<std::uint32_t>(t1.columns.size()))];
+    if (rng->NextBernoulli(0.5)) {
+      atoms.push_back(col + " IN (?, ?, ?)");
+      tpl.n_params += 3;
+    } else {
+      atoms.push_back("(" + col + " = ? OR " + col + " = ?)");
+      tpl.n_params += 2;
+    }
+  }
+  sql += " WHERE " + Join(atoms, " AND ");
+
+  if (rng->NextBernoulli(0.25)) {
+    sql += " ORDER BY " + t1.columns[rng->NextBounded(
+                              static_cast<std::uint32_t>(t1.columns.size()))];
+    if (rng->NextBernoulli(0.4)) sql += " DESC";
+  }
+  if (rng->NextBernoulli(0.15)) {
+    sql += StrFormat(" LIMIT %u", 10 + rng->NextBounded(5) * 10);
+  }
+  tpl.sql_with_params = std::move(sql);
+  return tpl;
+}
+
+/// Replaces each '?' with a random literal.
+std::string Instantiate(const std::string& tpl, Pcg32* rng) {
+  std::string out;
+  out.reserve(tpl.size() + 16);
+  for (char c : tpl) {
+    if (c == '?') {
+      out += RandomConstant(rng);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<LogEntry> NoiseEntries(std::size_t count, Pcg32* rng) {
+  std::vector<LogEntry> noise;
+  static const char* kProcs[] = {
+      "sp_daily_reconcile", "sp_update_risk",   "sp_refresh_positions",
+      "sp_archive_audit",   "sp_score_customer", "sp_settle_batch",
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    double roll = rng->NextDouble();
+    LogEntry e;
+    e.count = 1 + rng->NextBounded(200);
+    if (roll < 0.6) {
+      e.sql = StrFormat("EXEC %s %u",
+                        kProcs[rng->NextBounded(
+                            static_cast<std::uint32_t>(std::size(kProcs)))],
+                        rng->NextBounded(1000));
+    } else if (roll < 0.75) {
+      e.sql = StrFormat(
+          "UPDATE accounts SET balance = balance - %u WHERE id = %u",
+          rng->NextBounded(5000), rng->NextBounded(100000));
+    } else if (roll < 0.9) {
+      e.sql = StrFormat(
+          "INSERT INTO audit_log (id, description) VALUES (%u, 'x')",
+          rng->NextBounded(1000000));
+    } else {
+      // Unparseable garbage the loader must survive.
+      e.sql = StrFormat("@@BEGIN_BLOCK %u #corrupted { trace",
+                        rng->NextBounded(4096));
+    }
+    noise.push_back(std::move(e));
+  }
+  return noise;
+}
+
+}  // namespace
+
+std::vector<LogEntry> GenerateBankLog(const BankLogOptions& opts) {
+  Pcg32 rng(opts.seed);
+  std::vector<TableSchema> schema = BuildSchema(&rng);
+
+  // Distinct constant-free templates.
+  std::set<std::string> seen;
+  std::vector<Template> templates;
+  std::size_t guard = 0;
+  while (templates.size() < opts.num_templates &&
+         guard < opts.num_templates * 100) {
+    ++guard;
+    Template t = MakeTemplate(schema, &rng);
+    if (seen.insert(t.sql_with_params).second) {
+      templates.push_back(std::move(t));
+    }
+  }
+
+  // Multiplicities across templates.
+  ZipfSampler zipf(templates.size(), opts.zipf_s);
+  std::vector<LogEntry> entries;
+  std::uint64_t assigned = 0;
+  for (std::size_t r = 0; r < templates.size(); ++r) {
+    const Template& tpl = templates[r];
+    std::uint64_t count = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               zipf.Probability(r) *
+               static_cast<double>(opts.total_queries)));
+    assigned += count;
+    if (!tpl.human || tpl.n_params == 0) {
+      // Machine query: parameters stay as '?'.
+      entries.push_back(LogEntry{tpl.sql_with_params, count});
+      continue;
+    }
+    // Human query: split the count across constant instantiations.
+    std::size_t variants = 1 + rng.NextBounded(static_cast<std::uint32_t>(
+                                   2.0 * opts.const_variants_mean));
+    variants = std::min<std::uint64_t>(variants, count);
+    std::uint64_t per = count / variants;
+    std::uint64_t rem = count - per * variants;
+    std::set<std::string> variant_seen;
+    for (std::size_t v = 0; v < variants; ++v) {
+      std::string inst = Instantiate(tpl.sql_with_params, &rng);
+      std::uint64_t c = per + (v == 0 ? rem : 0);
+      if (c == 0) continue;
+      if (variant_seen.insert(inst).second) {
+        entries.push_back(LogEntry{std::move(inst), c});
+      } else {
+        entries.back().count += c;  // collision: merge into previous
+      }
+    }
+  }
+  if (!entries.empty() && assigned < opts.total_queries) {
+    entries[0].count += opts.total_queries - assigned;
+  }
+
+  std::vector<LogEntry> noise = NoiseEntries(opts.noise_entries, &rng);
+  entries.insert(entries.end(), noise.begin(), noise.end());
+  return entries;
+}
+
+}  // namespace logr

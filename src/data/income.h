@@ -1,0 +1,29 @@
+// Synthetic stand-in for the IPUMS-USA Income dataset used by the
+// Laserlight evaluation (paper Sec. 8, Table 2; original from
+// https://usa.ipums.org/usa/, not redistributable).
+//
+// Shape preserved: 9 categorical attributes whose one-hot expansion has
+// 783 distinct features organized into mutually anti-correlated groups
+// (Sec. 8.1.2), a binary classification attribute "income > $100,000"
+// with realistic skew (~7% positive), and label structure driven by a
+// few attributes plus interactions so explanation tables have signal to
+// find.
+#ifndef LOGR_DATA_INCOME_H_
+#define LOGR_DATA_INCOME_H_
+
+#include "data/tabular.h"
+
+namespace logr {
+
+struct IncomeOptions {
+  std::uint64_t seed = 77;
+  /// Number of tuples (paper: 777,493; default reduced for bench
+  /// runtime — every Laserlight gain scan is O(rows)).
+  std::size_t num_rows = 20000;
+};
+
+CategoricalTable GenerateIncomeData(const IncomeOptions& opts);
+
+}  // namespace logr
+
+#endif  // LOGR_DATA_INCOME_H_

@@ -1,0 +1,86 @@
+#include "data/mushroom.h"
+
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace logr {
+
+CategoricalTable GenerateMushroomData(const MushroomOptions& opts) {
+  Pcg32 rng(opts.seed);
+  CategoricalTable t;
+  // 21 attributes; domain sizes sum to 95 (Table 2's feature count,
+  // arity profile modeled on the real UCI attribute domains).
+  t.attr_names = {"cap_shape",      "cap_surface",  "cap_color",
+                  "bruises",        "odor",         "gill_attachment",
+                  "gill_spacing",   "gill_size",    "gill_color",
+                  "stalk_shape",    "stalk_root",   "stalk_surface_above",
+                  "stalk_surface_below", "stalk_color_above",
+                  "stalk_color_below",   "veil_color",
+                  "ring_number",    "ring_type",    "spore_print_color",
+                  "population",     "habitat"};
+  t.domain_sizes = {6, 4, 8, 2, 9, 2, 2, 2, 8, 2, 5,
+                    4, 4, 4, 4, 1, 3, 5, 7, 6, 7};
+  LOGR_CHECK(t.attr_names.size() == 21);
+  LOGR_CHECK([&] {
+    std::size_t total = 0;
+    for (std::size_t d : t.domain_sizes) total += d;
+    return total == 95;
+  }());
+
+  t.rows.reserve(opts.num_rows);
+  t.labels.reserve(opts.num_rows);
+  for (std::size_t r = 0; r < opts.num_rows; ++r) {
+    std::vector<std::uint16_t> row(t.domain_sizes.size());
+    // Two latent "species groups" induce the strong cross-attribute
+    // correlations the real dataset is famous for.
+    bool benign_group = rng.NextBernoulli(0.52);
+
+    auto pick = [&](std::size_t attr, std::uint16_t preferred,
+                    double fidelity) -> std::uint16_t {
+      if (rng.NextBernoulli(fidelity)) return preferred;
+      return static_cast<std::uint16_t>(
+          rng.NextBounded(static_cast<std::uint32_t>(t.domain_sizes[attr])));
+    };
+
+    // Odor (attr 4): value 0 = none, 1 = almond, 2 = anise are benign;
+    // 3..8 (foul, pungent, ...) signal poison.
+    std::uint16_t odor =
+        benign_group ? pick(4, static_cast<std::uint16_t>(
+                                   rng.NextBounded(3)), 0.85)
+                     : pick(4, static_cast<std::uint16_t>(
+                                   3 + rng.NextBounded(6)), 0.85);
+    row[4] = odor;
+
+    // Correlated attributes per group.
+    row[0] = pick(0, benign_group ? 1 : 4, 0.7);    // cap_shape
+    row[1] = pick(1, benign_group ? 0 : 2, 0.6);    // cap_surface
+    row[2] = pick(2, benign_group ? 3 : 7, 0.55);   // cap_color
+    row[3] = pick(3, benign_group ? 1 : 0, 0.8);    // bruises
+    row[5] = pick(5, 0, 0.93);                      // gill_attachment
+    row[6] = pick(6, benign_group ? 0 : 1, 0.7);    // gill_spacing
+    row[7] = pick(7, benign_group ? 1 : 0, 0.75);   // gill_size
+    row[8] = pick(8, benign_group ? 4 : 7, 0.5);    // gill_color
+    row[9] = pick(9, benign_group ? 0 : 1, 0.65);   // stalk_shape
+    row[10] = pick(10, benign_group ? 1 : 3, 0.6);  // stalk_root
+    row[11] = pick(11, benign_group ? 2 : 0, 0.7);  // stalk_surface_above
+    row[12] = pick(12, benign_group ? 2 : 0, 0.7);  // stalk_surface_below
+    row[13] = pick(13, benign_group ? 3 : 1, 0.6);  // stalk_color_above
+    row[14] = pick(14, benign_group ? 3 : 1, 0.6);  // stalk_color_below
+    row[15] = pick(15, 0, 0.9);                     // veil_color
+    row[16] = pick(16, 1, 0.88);                    // ring_number
+    row[17] = pick(17, benign_group ? 4 : 0, 0.7);  // ring_type
+    row[18] = pick(18, benign_group ? 2 : 6, 0.75); // spore_print_color
+    row[19] = pick(19, benign_group ? 3 : 5, 0.6);  // population
+    row[20] = pick(20, benign_group ? 0 : 4, 0.6);  // habitat
+
+    // Edibility: odor is nearly decisive (as in the real data), with a
+    // small exception band driven by spore print.
+    bool edible = odor < 3;
+    if (odor == 0 && row[18] == 6 && rng.NextBernoulli(0.8)) edible = false;
+    t.labels.push_back(edible ? 1.0 : 0.0);
+    t.rows.push_back(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace logr

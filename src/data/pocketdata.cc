@@ -1,0 +1,275 @@
+#include "data/pocketdata.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/prng.h"
+#include "util/string_util.h"
+
+namespace logr {
+
+namespace {
+
+/// One app-task family: a table expression, a pool of selectable
+/// columns, a pool of WHERE atoms, and optional ORDER BY / LIMIT forms.
+struct Family {
+  std::string from_clause;
+  std::vector<std::string> select_pool;
+  std::vector<std::string> where_pool;  // atoms; "?" marks parameters
+  std::vector<std::string> order_by;    // optional forms, may be empty
+  std::vector<std::string> limits;      // optional LIMIT values
+  /// Share of the distinct-template budget this family receives.
+  double share = 1.0;
+  /// Probability that a variant turns one equality atom into an IN-list
+  /// (IN-lists make the query non-conjunctive, Table 1).
+  double in_list_prob = 0.75;
+};
+
+std::vector<Family> AppFamilies() {
+  std::vector<Family> fams;
+
+  // Fig. 10a: active participants of a conversation.
+  fams.push_back(Family{
+      "conversation_participants_view",
+      {"conversation_id", "participants_type", "first_name", "chat_id",
+       "blocked", "active", "participant_id", "avatar_url", "full_name"},
+      {"chat_id != ?", "conversation_id = ?", "active = 1", "blocked = ?",
+       "participants_type = ?", "profile_type = ?"},
+      {"first_name"},
+      {"30"},
+      1.0});
+
+  // Fig. 10b: recent SMS messages of a conversation (3-way join).
+  fams.push_back(Family{
+      "conversations, message_notifications_view, messages_view",
+      {"status", "timestamp", "expiration_timestamp", "sms_raw_sender",
+       "message_id", "text", "author_id", "attachment_url", "sms_type"},
+      {"expiration_timestamp > ?", "status != 5", "conversation_id = ?",
+       "conversations.conversation_id = conversation_id",
+       "timestamp > ?", "author_id != ?"},
+      {"timestamp DESC"},
+      {"500", "100", "30"},
+      1.2});
+
+  // Fig. 10c: conversation monitor with watermark comparison.
+  fams.push_back(Family{
+      "conversations, message_notifications_view",
+      {"status", "timestamp", "conversation_id", "chat_watermark",
+       "message_id", "sms_type", "conversation_status",
+       "conversation_notification_level"},
+      {"conversation_status != 1", "conversation_pending_leave != 1",
+       "conversation_notification_level != 10", "timestamp > ?",
+       "timestamp > chat_watermark", "conversation_id = ?",
+       "conversations.conversation_id = conversation_id"},
+      {"timestamp DESC"},
+      {},
+      1.2});
+
+  // Fig. 10d: contact suggestions.
+  fams.push_back(Family{
+      "suggested_contacts",
+      {"suggestion_type", "name", "chat_id", "logging_id", "affinity_score",
+       "packed_circle_ids", "profile_type"},
+      {"chat_id != ?", "name != ?", "suggestion_type = ?",
+       "affinity_score > ?"},
+      {"upper(name)"},
+      {"10", "20"},
+      0.9});
+
+  // Fig. 10e: messages filtered by type/status/transport.
+  fams.push_back(Family{
+      "messages",
+      {"sms_type", "timestamp", "_id", "status", "transport_type",
+       "sms_raw_sender", "text", "sms_message_size", "chat_message_type"},
+      {"sms_type = 1", "status = 4", "transport_type = 3",
+       "timestamp >= ?", "sms_message_size > ?", "status = ?",
+       "chat_message_type != ?"},
+      {"timestamp DESC", "_id"},
+      {"500", "50"},
+      1.3});
+
+  // Participant profile lookups.
+  fams.push_back(Family{
+      "participants",
+      {"first_name", "full_name", "profile_type", "gaia_id", "avatar_url",
+       "participant_id", "phone_id", "circle_id"},
+      {"participant_id = ?", "gaia_id = ?", "profile_type = ?",
+       "phone_id = ?", "circle_id != ?"},
+      {"full_name"},
+      {},
+      0.9});
+
+  // Event stream / sync bookkeeping.
+  fams.push_back(Family{
+      "event_suggestions, events",
+      {"event_id", "timestamp", "type", "invitee_gaia_id", "display_time",
+       "events.event_id"},
+      {"event_id = ?", "timestamp > ?", "type = ?",
+       "events.event_id = event_id", "display_time <= ?"},
+      {"timestamp DESC"},
+      {"25"},
+      0.7});
+
+  return fams;
+}
+
+/// Long-tail housekeeping tables giving the vocabulary its breadth.
+std::vector<Family> TailFamilies(Pcg32* rng) {
+  static const char* kTables[] = {
+      "sync_state",        "account_status",   "chat_properties",
+      "sticker_albums",    "sticker_photos",   "volume_controls",
+      "typing_status",     "media_cache",      "search_index",
+      "emoji_usage",       "invite_tokens",    "presence_state",
+      "blocked_people",    "hangout_history",  "call_logs",
+      "notification_acks", "draft_messages",   "group_metadata",
+      "avatar_cache",      "link_previews",    "device_contacts",
+      "mergekeys",         "recent_calls",     "watermark_state",
+  };
+  static const char* kColSuffix[] = {
+      "_id",       "_time",     "_status",  "_type",   "_count",
+      "_gaia_id",  "_version",  "_dirty",   "_blob",   "_score",
+      "_url",      "_flags",    "_name",    "_key",    "_state",
+  };
+  std::vector<Family> fams;
+  for (const char* table : kTables) {
+    Family f;
+    f.from_clause = table;
+    std::string base(table);
+    // Base column stem: strip plural-ish tail for readability.
+    std::string stem = base.substr(0, base.find('_'));
+    std::size_t n_cols = 9 + rng->NextBounded(8);
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      f.select_pool.push_back(
+          stem + kColSuffix[rng->NextBounded(
+                     static_cast<std::uint32_t>(std::size(kColSuffix)))] +
+          (c % 3 == 0 ? "" : StrFormat("%zu", c)));
+    }
+    std::size_t n_atoms = 5 + rng->NextBounded(4);
+    static const char* kOps[] = {"= ?", "!= ?", "> ?", ">= ?", "< ?"};
+    for (std::size_t a = 0; a < n_atoms && a < f.select_pool.size(); ++a) {
+      f.where_pool.push_back(
+          f.select_pool[a] + " " +
+          kOps[rng->NextBounded(static_cast<std::uint32_t>(std::size(kOps)))]);
+    }
+    if (rng->NextBernoulli(0.4)) f.order_by.push_back(f.select_pool[0]);
+    if (rng->NextBernoulli(0.3)) f.limits.push_back("100");
+    f.share = 0.25;
+    f.in_list_prob = 0.6;
+    fams.push_back(std::move(f));
+  }
+  return fams;
+}
+
+/// Draws a non-empty subset of `pool` of size `lo..hi`.
+std::vector<std::string> PickSubset(const std::vector<std::string>& pool,
+                                    std::size_t lo, std::size_t hi,
+                                    Pcg32* rng) {
+  std::vector<std::string> shuffled = pool;
+  rng->Shuffle(&shuffled);
+  std::size_t max_take = std::min(hi, shuffled.size());
+  std::size_t min_take = std::min(lo, max_take);
+  std::size_t take =
+      min_take +
+      (max_take > min_take
+           ? rng->NextBounded(static_cast<std::uint32_t>(max_take - min_take + 1))
+           : 0);
+  shuffled.resize(std::max<std::size_t>(1, take));
+  std::sort(shuffled.begin(), shuffled.end());
+  return shuffled;
+}
+
+std::string MakeVariant(const Family& f, Pcg32* rng) {
+  std::vector<std::string> select_cols =
+      PickSubset(f.select_pool, 4, 9, rng);
+  std::vector<std::string> atoms = PickSubset(f.where_pool, 2, 6, rng);
+
+  // Possibly add an IN-list (making the query non-conjunctive, like the
+  // bulk of PocketData's machine-generated templates): prefer rewriting
+  // an equality atom, otherwise append a membership atom.
+  if (rng->NextBernoulli(f.in_list_prob)) {
+    std::size_t n_items = 2 + rng->NextBounded(3);
+    std::string items = "?";
+    for (std::size_t i = 1; i < n_items; ++i) items += ", ?";
+    bool rewritten = false;
+    for (std::string& atom : atoms) {
+      std::size_t pos = atom.find(" = ?");
+      if (pos != std::string::npos) {
+        atom = atom.substr(0, pos) + " IN (" + items + ")";
+        rewritten = true;
+        break;
+      }
+    }
+    if (!rewritten) {
+      atoms.push_back(select_cols[0] + " IN (" + items + ")");
+    }
+  }
+
+  std::string sql = "SELECT " + Join(select_cols, ", ");
+  sql += " FROM " + f.from_clause;
+  sql += " WHERE " + Join(atoms, " AND ");
+  if (!f.order_by.empty() && rng->NextBernoulli(0.5)) {
+    sql += " ORDER BY " +
+           f.order_by[rng->NextBounded(
+               static_cast<std::uint32_t>(f.order_by.size()))];
+  }
+  if (!f.limits.empty() && rng->NextBernoulli(0.5)) {
+    sql += " LIMIT " + f.limits[rng->NextBounded(
+                           static_cast<std::uint32_t>(f.limits.size()))];
+  }
+  return sql;
+}
+
+}  // namespace
+
+std::vector<LogEntry> GeneratePocketDataLog(const PocketDataOptions& opts) {
+  Pcg32 rng(opts.seed);
+  std::vector<Family> families = AppFamilies();
+  std::vector<Family> tail = TailFamilies(&rng);
+  families.insert(families.end(), tail.begin(), tail.end());
+
+  double total_share = 0.0;
+  for (const Family& f : families) total_share += f.share;
+
+  std::set<std::string> seen;
+  std::vector<std::string> distinct;
+  // Round-robin across families proportionally to share until the
+  // distinct budget is filled.
+  std::vector<double> budget(families.size());
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    budget[i] = opts.num_distinct * families[i].share / total_share;
+  }
+  std::size_t guard = 0;
+  while (distinct.size() < opts.num_distinct &&
+         guard < opts.num_distinct * 200) {
+    ++guard;
+    std::size_t fi = rng.NextDiscrete(budget);
+    std::string sql = MakeVariant(families[fi], &rng);
+    if (seen.insert(sql).second) {
+      distinct.push_back(std::move(sql));
+      budget[fi] = std::max(0.1, budget[fi] - 1.0);
+    }
+  }
+
+  // Zipf multiplicities over a random permutation of the templates.
+  rng.Shuffle(&distinct);
+  ZipfSampler zipf(distinct.size(), opts.zipf_s);
+  std::vector<LogEntry> entries;
+  entries.reserve(distinct.size());
+  std::uint64_t assigned = 0;
+  for (std::size_t r = 0; r < distinct.size(); ++r) {
+    double p = zipf.Probability(r);
+    std::uint64_t count = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(p * static_cast<double>(
+                                              opts.total_queries)));
+    entries.push_back(LogEntry{std::move(distinct[r]), count});
+    assigned += count;
+  }
+  // Adjust the head so the total matches exactly.
+  if (!entries.empty() && assigned < opts.total_queries) {
+    entries[0].count += opts.total_queries - assigned;
+  }
+  return entries;
+}
+
+}  // namespace logr

@@ -1,0 +1,36 @@
+// Synthetic stand-in for the PocketData-Google+ query log
+// (paper Sec. 7, Table 1; visualized in Appendix E, Fig. 10).
+//
+// The real dataset is SQL captured from the Google+ Android app on 11
+// phones: a *stable, machine-generated* workload — few distinct templates
+// (605), every constant a JDBC `?` parameter, heavy-tailed multiplicities
+// (max 48,651 of 629,582 total), ~14.8 features per query, and clearly
+// separated task clusters (conversations, messages, notifications,
+// contact suggestions — the clusters of Fig. 10). The generator emits
+// template variants from those same app-task families with
+// Zipf-distributed multiplicities so every statistic the compression
+// pipeline consumes has the paper's shape.
+#ifndef LOGR_DATA_POCKETDATA_H_
+#define LOGR_DATA_POCKETDATA_H_
+
+#include "data/sql_log.h"
+
+namespace logr {
+
+struct PocketDataOptions {
+  std::uint64_t seed = 2018;
+  /// Target number of distinct statements (paper: 605).
+  std::size_t num_distinct = 605;
+  /// Total queries in the log (paper: 629,582).
+  std::uint64_t total_queries = 629582;
+  /// Zipf skew for template multiplicities (tuned so the max
+  /// multiplicity lands near the paper's 48,651 / 629,582 ≈ 7.7%).
+  double zipf_s = 0.8;
+};
+
+/// Generates the distinct log entries with multiplicities.
+std::vector<LogEntry> GeneratePocketDataLog(const PocketDataOptions& opts);
+
+}  // namespace logr
+
+#endif  // LOGR_DATA_POCKETDATA_H_

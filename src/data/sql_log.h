@@ -1,0 +1,25 @@
+// Common shape of the synthetic SQL log generators.
+#ifndef LOGR_DATA_SQL_LOG_H_
+#define LOGR_DATA_SQL_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/loader.h"
+
+namespace logr {
+
+/// One distinct log line and how many times it occurred.
+struct LogEntry {
+  std::string sql;
+  std::uint64_t count = 1;
+};
+
+/// Feeds `entries` through a LogLoader and returns it.
+LogLoader LoadEntries(const std::vector<LogEntry>& entries,
+                      LogLoader::Options opts = LogLoader::Options());
+
+}  // namespace logr
+
+#endif  // LOGR_DATA_SQL_LOG_H_

@@ -1,0 +1,64 @@
+#include "data/tabular.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace logr {
+
+std::size_t CategoricalTable::NumOneHotFeatures() const {
+  std::size_t total = 0;
+  for (std::size_t d : domain_sizes) total += d;
+  return total;
+}
+
+FeatureId CategoricalTable::OneHotId(std::size_t attr,
+                                     std::uint16_t value) const {
+  LOGR_DCHECK(attr < domain_sizes.size());
+  LOGR_DCHECK(value < domain_sizes[attr]);
+  std::size_t offset = 0;
+  for (std::size_t a = 0; a < attr; ++a) offset += domain_sizes[a];
+  return static_cast<FeatureId>(offset + value);
+}
+
+std::vector<FeatureVec> CategoricalTable::Binarize() const {
+  std::vector<std::size_t> offsets(domain_sizes.size(), 0);
+  for (std::size_t a = 1; a < domain_sizes.size(); ++a) {
+    offsets[a] = offsets[a - 1] + domain_sizes[a - 1];
+  }
+  std::vector<FeatureVec> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    LOGR_CHECK(row.size() == domain_sizes.size());
+    std::vector<FeatureId> ids;
+    ids.reserve(row.size());
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      LOGR_DCHECK(row[a] < domain_sizes[a]);
+      ids.push_back(static_cast<FeatureId>(offsets[a] + row[a]));
+    }
+    out.emplace_back(std::move(ids));
+  }
+  return out;
+}
+
+std::size_t CategoricalTable::NumDistinctPresentFeatures() const {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::size_t> offsets(domain_sizes.size(), 0);
+  for (std::size_t a = 1; a < domain_sizes.size(); ++a) {
+    offsets[a] = offsets[a - 1] + domain_sizes[a - 1];
+  }
+  for (const auto& row : rows) {
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      seen.insert(static_cast<std::uint32_t>(offsets[a] + row[a]));
+    }
+  }
+  return seen.size();
+}
+
+std::size_t CategoricalTable::NumDistinctRows() const {
+  std::set<std::vector<std::uint16_t>> seen(rows.begin(), rows.end());
+  return seen.size();
+}
+
+}  // namespace logr

@@ -1,0 +1,47 @@
+// Categorical tables and one-hot binarization: the input shape of the
+// paper's alternative-application datasets (Income for Laserlight,
+// Mushroom for MTV — Table 2).
+#ifndef LOGR_DATA_TABULAR_H_
+#define LOGR_DATA_TABULAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/feature_vec.h"
+
+namespace logr {
+
+/// A table of categorical attributes plus a binary classification label.
+struct CategoricalTable {
+  std::vector<std::string> attr_names;
+  /// Domain size per attribute; one-hot feature ids are laid out
+  /// attribute-major: feature(attr a, value v) = offset[a] + v.
+  std::vector<std::size_t> domain_sizes;
+  /// Rows of value indices (one per attribute).
+  std::vector<std::vector<std::uint16_t>> rows;
+  /// Binary label per row (Laserlight's augmented attribute; for the
+  /// Mushroom data this is edibility, for Income it is income > 100k).
+  std::vector<double> labels;
+
+  /// Total number of one-hot features (sum of domain sizes).
+  std::size_t NumOneHotFeatures() const;
+
+  /// Feature id of (attribute, value).
+  FeatureId OneHotId(std::size_t attr, std::uint16_t value) const;
+
+  /// One-hot encodes every row. Each row vector has exactly one feature
+  /// per attribute — the mutually anti-correlated feature groups the
+  /// paper highlights in Sec. 8.1.2.
+  std::vector<FeatureVec> Binarize() const;
+
+  /// Number of *distinct* one-hot values actually present in the data.
+  std::size_t NumDistinctPresentFeatures() const;
+
+  /// Number of distinct rows.
+  std::size_t NumDistinctRows() const;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_DATA_TABULAR_H_

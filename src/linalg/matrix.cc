@@ -1,0 +1,90 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace logr {
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  LOGR_CHECK(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::TransposeMatVec(const Vector& x) const {
+  LOGR_CHECK(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  LOGR_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      double v = (*this)(i, k);
+      if (v == 0.0) continue;
+      const double* brow = other.Row(k);
+      double* orow = out.Row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += v * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::OffDiagonalNorm() const {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (r != c) acc += (*this)(r, c) * (*this)(r, c);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  LOGR_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double s, const Vector& b, Vector* a) {
+  LOGR_CHECK(a->size() == b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+void Scale(double s, Vector* a) {
+  for (double& v : *a) v *= s;
+}
+
+}  // namespace logr

@@ -1,0 +1,28 @@
+// Linear solvers: LU with partial pivoting and equality-constrained
+// Euclidean projection (the workhorse of the Appendix-C sampler).
+#ifndef LOGR_LINALG_SOLVE_H_
+#define LOGR_LINALG_SOLVE_H_
+
+#include "linalg/matrix.h"
+
+namespace logr {
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+///
+/// Returns false when A is (numerically) singular; `x` is then unspecified.
+bool LuSolve(Matrix a, Vector b, Vector* x);
+
+/// Projects `x0` onto the affine subspace { x : A x = b } in Euclidean
+/// norm:  x = x0 - A^T (A A^T)^{-1} (A x0 - b).
+///
+/// Used to repair uniformly sampled class-probability vectors so they obey
+/// the marginal constraints of a pattern encoding (paper Appendix C.2).
+/// Rank-deficient constraint systems are handled by ridge-regularizing
+/// A A^T with a tiny diagonal. Returns false if the normal equations are
+/// too ill-conditioned even after regularization.
+bool ProjectOntoAffine(const Matrix& a, const Vector& b, const Vector& x0,
+                       Vector* x);
+
+}  // namespace logr
+
+#endif  // LOGR_LINALG_SOLVE_H_

@@ -1,0 +1,163 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace logr {
+namespace {
+
+// Sorts eigenpairs in-place by descending eigenvalue.
+void SortDescending(EigenResult* r) {
+  std::vector<std::size_t> idx(r->eigenvalues.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return r->eigenvalues[a] > r->eigenvalues[b];
+  });
+  EigenResult sorted;
+  sorted.eigenvalues.reserve(idx.size());
+  sorted.eigenvectors.reserve(idx.size());
+  for (std::size_t i : idx) {
+    sorted.eigenvalues.push_back(r->eigenvalues[i]);
+    sorted.eigenvectors.push_back(std::move(r->eigenvectors[i]));
+  }
+  *r = std::move(sorted);
+}
+
+// Solves the symmetric tridiagonal eigenproblem (diag `alpha`, off-diag
+// `beta`) by building the dense matrix and calling Jacobi. The tridiagonal
+// dimension equals the Lanczos iteration count (small), so this is cheap.
+EigenResult TridiagonalEigen(const Vector& alpha, const Vector& beta) {
+  const std::size_t m = alpha.size();
+  Matrix t(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    t(i, i) = alpha[i];
+    if (i + 1 < m) {
+      t(i, i + 1) = beta[i];
+      t(i + 1, i) = beta[i];
+    }
+  }
+  return JacobiEigen(std::move(t));
+}
+
+}  // namespace
+
+EigenResult JacobiEigen(Matrix a, int max_sweeps, double tol) {
+  LOGR_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (a.OffDiagonalNorm() < tol) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = a(p, p);
+        double aqq = a(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          double aip = a(i, p);
+          double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          double api = a(p, i);
+          double aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          double vip = v(i, p);
+          double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  EigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors.resize(n, Vector(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    result.eigenvalues[i] = a(i, i);
+    for (std::size_t r = 0; r < n; ++r) result.eigenvectors[i][r] = v(r, i);
+  }
+  SortDescending(&result);
+  return result;
+}
+
+EigenResult LanczosLargest(
+    const std::function<void(const Vector&, Vector*)>& matvec, std::size_t n,
+    std::size_t k, std::uint64_t seed, std::size_t max_iter, double tol) {
+  LOGR_CHECK(k >= 1);
+  k = std::min(k, n);
+  if (max_iter == 0) max_iter = std::min(n, std::max<std::size_t>(2 * k + 32, 64));
+  max_iter = std::min(max_iter, n);
+
+  Pcg32 rng(seed);
+  std::vector<Vector> basis;  // orthonormal Lanczos vectors
+  basis.reserve(max_iter);
+  Vector alpha, beta;
+
+  Vector q(n);
+  for (double& x : q) x = rng.NextGaussian();
+  double nrm = Norm2(q);
+  LOGR_CHECK(nrm > 0);
+  Scale(1.0 / nrm, &q);
+  basis.push_back(q);
+
+  Vector w(n);
+  for (std::size_t j = 0; j < max_iter; ++j) {
+    matvec(basis[j], &w);
+    double a_j = Dot(w, basis[j]);
+    alpha.push_back(a_j);
+    // w -= alpha_j q_j + beta_{j-1} q_{j-1}
+    Axpy(-a_j, basis[j], &w);
+    if (j > 0) Axpy(-beta[j - 1], basis[j - 1], &w);
+    // Full reorthogonalization (twice for numerical safety).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Vector& b : basis) {
+        double proj = Dot(w, b);
+        if (proj != 0.0) Axpy(-proj, b, &w);
+      }
+    }
+    double b_j = Norm2(w);
+    if (b_j < tol || j + 1 == max_iter) break;
+    beta.push_back(b_j);
+    Vector next = w;
+    Scale(1.0 / b_j, &next);
+    basis.push_back(std::move(next));
+  }
+
+  const std::size_t m = alpha.size();
+  EigenResult tri = TridiagonalEigen(alpha, beta);
+
+  EigenResult result;
+  std::size_t take = std::min(k, m);
+  result.eigenvalues.reserve(take);
+  result.eigenvectors.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    result.eigenvalues.push_back(tri.eigenvalues[i]);
+    // Ritz vector: sum_j tri_vec[j] * basis[j]
+    Vector ritz(n, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      Axpy(tri.eigenvectors[i][j], basis[j], &ritz);
+    }
+    double rn = Norm2(ritz);
+    if (rn > 0) Scale(1.0 / rn, &ritz);
+    result.eigenvectors.push_back(std::move(ritz));
+  }
+  return result;
+}
+
+}  // namespace logr

@@ -1,0 +1,43 @@
+// Symmetric eigensolvers.
+//
+// Spectral clustering needs the k extremal eigenvectors of the (dense)
+// normalized affinity matrix. Two solvers are provided:
+//   * Jacobi rotation — exact full decomposition, O(n^3) per sweep, used
+//     for small matrices and as the test oracle;
+//   * Lanczos with full reorthogonalization — k extremal eigenpairs of a
+//     large symmetric matrix via matvec callbacks, used by spectral
+//     clustering on up to a few thousand distinct queries.
+#ifndef LOGR_LINALG_SYMMETRIC_EIGEN_H_
+#define LOGR_LINALG_SYMMETRIC_EIGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace logr {
+
+/// Result of an eigendecomposition: eigenvalues_[i] pairs with column i of
+/// eigenvectors_ (each eigenvector is returned as a row for cache locality).
+struct EigenResult {
+  Vector eigenvalues;
+  std::vector<Vector> eigenvectors;  // eigenvectors[i] has unit 2-norm
+};
+
+/// Full eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Eigenpairs are sorted by descending eigenvalue.
+EigenResult JacobiEigen(Matrix a, int max_sweeps = 64, double tol = 1e-12);
+
+/// Computes the `k` algebraically largest eigenpairs of a symmetric linear
+/// operator given by `matvec` (y = A x) of dimension `n`, using Lanczos
+/// iteration with full reorthogonalization. `seed` controls the start
+/// vector. Eigenpairs are sorted by descending eigenvalue.
+EigenResult LanczosLargest(
+    const std::function<void(const Vector&, Vector*)>& matvec, std::size_t n,
+    std::size_t k, std::uint64_t seed = 7, std::size_t max_iter = 0,
+    double tol = 1e-9);
+
+}  // namespace logr
+
+#endif  // LOGR_LINALG_SYMMETRIC_EIGEN_H_

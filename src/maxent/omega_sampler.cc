@@ -1,0 +1,82 @@
+#include "maxent/omega_sampler.h"
+
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "util/check.h"
+
+namespace logr {
+
+OmegaSampler::OmegaSampler(const SignatureSpace* space,
+                           std::vector<double> marginals)
+    : space_(space), marginals_(std::move(marginals)) {
+  LOGR_CHECK(marginals_.size() == space_->num_patterns());
+  for (std::uint32_t s = 0;
+       s < static_cast<std::uint32_t>(space_->num_classes()); ++s) {
+    if (space_->ClassFraction(s) > 0.0) live_classes_.push_back(s);
+  }
+  const std::size_t cols = live_classes_.size();
+  const std::size_t m = space_->num_patterns();
+  constraints_ = Matrix(m + 1, cols);
+  rhs_ = Vector(m + 1, 0.0);
+  // Row 0: probabilities sum to one.
+  for (std::size_t c = 0; c < cols; ++c) constraints_(0, c) = 1.0;
+  rhs_[0] = 1.0;
+  // Row j+1: classes whose signature contains pattern j sum to the
+  // pattern's marginal.
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (live_classes_[c] & (std::uint32_t(1) << j)) {
+        constraints_(j + 1, c) = 1.0;
+      }
+    }
+    rhs_[j + 1] = marginals_[j];
+  }
+}
+
+std::vector<double> OmegaSampler::Sample(Pcg32* rng) const {
+  const std::size_t cols = live_classes_.size();
+  // Step 1 (Algorithm 1, UniRandDistribProb): uniform random values
+  // normalized to a distribution over non-empty classes.
+  Vector p(cols);
+  double total = 0.0;
+  for (double& v : p) {
+    v = rng->NextDouble();
+    total += v;
+  }
+  LOGR_CHECK(total > 0.0);
+  for (double& v : p) v /= total;
+
+  // Appendix C.2: project onto the constraint hyperplane, then repair
+  // negativity by alternating projections between the affine subspace
+  // and the non-negative orthant (POCS). Converges to a feasible point
+  // near the original sample; the final clip handles residual epsilon.
+  Vector proj;
+  for (int round = 0; round < 25; ++round) {
+    if (!ProjectOntoAffine(constraints_, rhs_, p, &proj)) break;
+    double worst_negative = 0.0;
+    for (double v : proj) {
+      if (v < worst_negative) worst_negative = v;
+    }
+    p = proj;
+    if (worst_negative > -1e-10) break;
+    for (double& v : p) {
+      if (v < 0.0) v = 0.0;
+    }
+  }
+  // Final cleanup: clip and renormalize.
+  double z = 0.0;
+  for (double& v : p) {
+    if (v < 0.0) v = 0.0;
+    z += v;
+  }
+  LOGR_CHECK(z > 0.0);
+  for (double& v : p) v /= z;
+
+  // Scatter back to the full 2^m class vector.
+  std::vector<double> full(space_->num_classes(), 0.0);
+  for (std::size_t c = 0; c < cols; ++c) full[live_classes_[c]] = p[c];
+  return full;
+}
+
+}  // namespace logr

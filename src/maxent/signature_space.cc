@@ -1,0 +1,78 @@
+#include "maxent/signature_space.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace logr {
+
+SignatureSpace::SignatureSpace(std::vector<FeatureVec> patterns,
+                               std::size_t n_features)
+    : patterns_(std::move(patterns)), n_features_(n_features) {
+  LOGR_CHECK(patterns_.size() <= 20);
+  for (const FeatureVec& b : patterns_) {
+    for (FeatureId f : b.ids) {
+      LOGR_CHECK(f < n_features_);
+    }
+  }
+  exact_fraction_ = ComputeExactFractions(FeatureVec());
+}
+
+std::vector<double> SignatureSpace::ComputeExactFractions(
+    const FeatureVec& extra) const {
+  const std::size_t m = patterns_.size();
+  const std::size_t classes = std::size_t(1) << m;
+
+  // atleast[S] = 2^{-| union of patterns in S, plus `extra` |}
+  //            = fraction of space containing every pattern in S (and
+  //              `extra`).
+  std::vector<double> value(classes);
+  for (std::size_t s = 0; s < classes; ++s) {
+    FeatureVec u = extra;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (s & (std::size_t(1) << j)) u = FeatureVec::Union(u, patterns_[j]);
+    }
+    value[s] = std::exp2(-static_cast<double>(u.size()));
+  }
+
+  // Möbius inversion on the subset lattice: after processing bit j,
+  // value[S] counts vectors that contain all patterns of S and none of
+  // the patterns in bit positions <= j outside S. Standard superset
+  // subtraction transform, done one dimension at a time:
+  //   exact[S] = atleast[S] - atleast[S ∪ {j}]   (per dimension j ∉ S)
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t bit = std::size_t(1) << j;
+    for (std::size_t s = 0; s < classes; ++s) {
+      if (!(s & bit)) value[s] -= value[s | bit];
+    }
+  }
+  // Clamp tiny negative rounding residue.
+  for (double& v : value) {
+    if (v < 0.0 && v > -1e-12) v = 0.0;
+    LOGR_DCHECK(v >= -1e-9);
+    if (v < 0.0) v = 0.0;
+  }
+  return value;
+}
+
+double SignatureSpace::LogClassSize(std::uint32_t s) const {
+  double frac = exact_fraction_[s];
+  LOGR_CHECK(frac > 0.0);
+  return std::log(frac) +
+         static_cast<double>(n_features_) * std::log(2.0);
+}
+
+std::uint32_t SignatureSpace::SignatureOf(const FeatureVec& q) const {
+  std::uint32_t s = 0;
+  for (std::size_t j = 0; j < patterns_.size(); ++j) {
+    if (q.ContainsAll(patterns_[j])) s |= (std::uint32_t(1) << j);
+  }
+  return s;
+}
+
+std::vector<double> SignatureSpace::ClassFractionsContaining(
+    const FeatureVec& b) const {
+  return ComputeExactFractions(b);
+}
+
+}  // namespace logr

@@ -1,0 +1,44 @@
+// Recursive-descent SQL parser for SELECT / UNION statements.
+//
+// The parser mirrors the paper's analysis funnel: the bank log contains
+// stored-procedure invocations and other non-SELECT operations that are
+// classified (and counted) but not parsed into ASTs. Parse errors are
+// reported via ParseResult rather than exceptions.
+#ifndef LOGR_SQL_PARSER_H_
+#define LOGR_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sql/ast.h"
+
+namespace logr::sql {
+
+/// Coarse statement classification used by the log-loading funnel.
+enum class StatementKind {
+  kSelect,           // parsed successfully into `statement`
+  kInsert,
+  kUpdate,
+  kDelete,
+  kDdl,              // CREATE / DROP / ALTER
+  kProcedureCall,    // EXEC / EXECUTE / CALL
+  kOther,            // recognized lexically but not a supported statement
+  kParseError,       // lexical or syntactic error
+};
+
+struct ParseResult {
+  StatementKind kind = StatementKind::kParseError;
+  StatementPtr statement;     // non-null iff kind == kSelect
+  std::string error;          // non-empty iff kind == kParseError
+  std::size_t error_position = 0;
+
+  bool ok() const { return kind == StatementKind::kSelect; }
+};
+
+/// Parses one SQL statement (trailing semicolon permitted).
+ParseResult Parse(std::string_view sql);
+
+}  // namespace logr::sql
+
+#endif  // LOGR_SQL_PARSER_H_

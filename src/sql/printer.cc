@@ -1,0 +1,243 @@
+#include "sql/printer.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace logr::sql {
+
+namespace {
+
+// Precedence levels for parenthesization (higher binds tighter).
+int Precedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kBinary:
+      switch (e.binary_op) {
+        case BinaryOp::kOr: return 1;
+        case BinaryOp::kAnd: return 2;
+        case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+          return 4;
+        case BinaryOp::kConcat: return 5;
+        case BinaryOp::kAdd: case BinaryOp::kSub: return 6;
+        case BinaryOp::kMul: case BinaryOp::kDiv: case BinaryOp::kMod:
+          return 7;
+      }
+      return 9;
+    case ExprKind::kUnary:
+      return e.unary_op == UnaryOp::kNot ? 3 : 8;
+    case ExprKind::kInList:
+    case ExprKind::kInSubquery:
+    case ExprKind::kBetween:
+    case ExprKind::kIsNull:
+    case ExprKind::kLike:
+      return 4;
+    default:
+      return 10;  // primaries never need parens
+  }
+}
+
+const char* BinaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+std::string PrintChild(const Expr& parent, const Expr& child) {
+  std::string s = PrintExpr(child);
+  if (Precedence(child) < Precedence(parent)) {
+    return "(" + s + ")";
+  }
+  return s;
+}
+
+std::string PrintTableRef(const TableRef& t) {
+  switch (t.kind) {
+    case TableRefKind::kBaseTable: {
+      std::string s = t.table_name;
+      if (!t.alias.empty()) s += " " + t.alias;
+      return s;
+    }
+    case TableRefKind::kDerived: {
+      std::string s = "(" + PrintSelect(*t.derived) + ")";
+      if (!t.alias.empty()) s += " " + t.alias;
+      return s;
+    }
+    case TableRefKind::kJoin: {
+      const char* kw = "JOIN";
+      switch (t.join_type) {
+        case JoinType::kInner: kw = "JOIN"; break;
+        case JoinType::kLeft: kw = "LEFT JOIN"; break;
+        case JoinType::kRight: kw = "RIGHT JOIN"; break;
+        case JoinType::kFull: kw = "FULL JOIN"; break;
+        case JoinType::kCross: kw = "CROSS JOIN"; break;
+      }
+      std::string s =
+          PrintTableRef(*t.left) + " " + kw + " " + PrintTableRef(*t.right);
+      if (t.join_condition) {
+        s += " ON " + PrintExpr(*t.join_condition);
+      }
+      return s;
+    }
+  }
+  return "";
+}
+
+std::string QuoteString(const std::string& raw) {
+  std::string out = "'";
+  for (char c : raw) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      return e.table.empty() ? e.column : e.table + "." + e.column;
+    case ExprKind::kLiteral:
+      switch (e.literal_kind) {
+        case LiteralKind::kString: return QuoteString(e.literal_text);
+        case LiteralKind::kNull: return "NULL";
+        case LiteralKind::kBool: return e.bool_value ? "TRUE" : "FALSE";
+        default: return e.literal_text;
+      }
+    case ExprKind::kParameter:
+      return "?";
+    case ExprKind::kStar:
+      return e.table.empty() ? "*" : e.table + ".*";
+    case ExprKind::kUnary: {
+      const Expr& c = *e.children[0];
+      switch (e.unary_op) {
+        case UnaryOp::kNot: return "NOT " + PrintChild(e, c);
+        case UnaryOp::kNeg: return "-" + PrintChild(e, c);
+        case UnaryOp::kPlus: return "+" + PrintChild(e, c);
+      }
+      return "";
+    }
+    case ExprKind::kBinary:
+      return PrintChild(e, *e.children[0]) + " " +
+             BinaryOpText(e.binary_op) + " " + PrintChild(e, *e.children[1]);
+    case ExprKind::kFunction: {
+      if (e.column == "CAST" && e.children.size() == 1) {
+        return "CAST(" + PrintExpr(*e.children[0]) + " AS " + e.table + ")";
+      }
+      std::vector<std::string> args;
+      for (const auto& c : e.children) args.push_back(PrintExpr(*c));
+      return e.column + "(" + (e.distinct_arg ? "DISTINCT " : "") +
+             Join(args, ", ") + ")";
+    }
+    case ExprKind::kInList: {
+      std::vector<std::string> items;
+      for (std::size_t i = 1; i < e.children.size(); ++i) {
+        items.push_back(PrintExpr(*e.children[i]));
+      }
+      return PrintChild(e, *e.children[0]) + (e.negated ? " NOT IN (" : " IN (") +
+             Join(items, ", ") + ")";
+    }
+    case ExprKind::kInSubquery:
+      return PrintChild(e, *e.children[0]) +
+             (e.negated ? " NOT IN (" : " IN (") + PrintSelect(*e.subquery) +
+             ")";
+    case ExprKind::kBetween:
+      return PrintChild(e, *e.children[0]) +
+             (e.negated ? " NOT BETWEEN " : " BETWEEN ") +
+             PrintChild(e, *e.children[1]) + " AND " +
+             PrintChild(e, *e.children[2]);
+    case ExprKind::kIsNull:
+      return PrintChild(e, *e.children[0]) +
+             (e.negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kLike: {
+      std::string s = PrintChild(e, *e.children[0]) +
+                      (e.negated ? " NOT LIKE " : " LIKE ") +
+                      PrintChild(e, *e.children[1]);
+      if (e.children.size() > 2) s += " ESCAPE " + PrintExpr(*e.children[2]);
+      return s;
+    }
+    case ExprKind::kExists:
+      return std::string(e.negated ? "NOT " : "") + "EXISTS (" +
+             PrintSelect(*e.subquery) + ")";
+    case ExprKind::kCase: {
+      std::string s = "CASE";
+      std::size_t idx = 0;
+      if (e.has_case_operand) {
+        s += " " + PrintExpr(*e.children[idx++]);
+      }
+      for (std::size_t w = 0; w < e.n_when; ++w) {
+        s += " WHEN " + PrintExpr(*e.children[idx++]);
+        s += " THEN " + PrintExpr(*e.children[idx++]);
+      }
+      if (e.has_else) {
+        s += " ELSE " + PrintExpr(*e.children[idx++]);
+      }
+      s += " END";
+      return s;
+    }
+    case ExprKind::kSubquery:
+      return "(" + PrintSelect(*e.subquery) + ")";
+  }
+  return "";
+}
+
+std::string PrintSelect(const SelectStmt& s) {
+  std::string out = "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  std::vector<std::string> items;
+  for (const auto& item : s.items) {
+    std::string t = PrintExpr(*item.expr);
+    if (!item.alias.empty()) t += " AS " + item.alias;
+    items.push_back(std::move(t));
+  }
+  out += Join(items, ", ");
+  if (!s.from.empty()) {
+    std::vector<std::string> tables;
+    for (const auto& t : s.from) tables.push_back(PrintTableRef(*t));
+    out += " FROM " + Join(tables, ", ");
+  }
+  if (s.where) out += " WHERE " + PrintExpr(*s.where);
+  if (!s.group_by.empty()) {
+    std::vector<std::string> gs;
+    for (const auto& g : s.group_by) gs.push_back(PrintExpr(*g));
+    out += " GROUP BY " + Join(gs, ", ");
+  }
+  if (s.having) out += " HAVING " + PrintExpr(*s.having);
+  if (!s.order_by.empty()) {
+    std::vector<std::string> os;
+    for (const auto& o : s.order_by) {
+      os.push_back(PrintExpr(*o.expr) + (o.ascending ? "" : " DESC"));
+    }
+    out += " ORDER BY " + Join(os, ", ");
+  }
+  if (s.limit) out += " LIMIT " + PrintExpr(*s.limit);
+  if (s.offset) out += " OFFSET " + PrintExpr(*s.offset);
+  return out;
+}
+
+std::string PrintStatement(const Statement& s) {
+  LOGR_CHECK(!s.selects.empty());
+  std::string out = PrintSelect(*s.selects[0]);
+  for (std::size_t i = 1; i < s.selects.size(); ++i) {
+    out += s.union_all ? " UNION ALL " : " UNION ";
+    out += PrintSelect(*s.selects[i]);
+  }
+  return out;
+}
+
+}  // namespace logr::sql

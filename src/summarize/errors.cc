@@ -1,0 +1,52 @@
+#include "summarize/errors.h"
+
+#include <cmath>
+
+#include "maxent/entropy.h"
+#include "util/check.h"
+
+namespace logr {
+
+double LaserlightError(const std::vector<double>& labels,
+                       const std::vector<double>& predictions,
+                       const std::vector<double>& weights) {
+  LOGR_CHECK(labels.size() == predictions.size());
+  LOGR_CHECK(weights.empty() || weights.size() == labels.size());
+  constexpr double kEps = 1e-12;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    double v = labels[i];
+    double u = std::min(1.0 - kEps, std::max(kEps, predictions[i]));
+    double w = weights.empty() ? 1.0 : weights[i];
+    double term = 0.0;
+    if (v > 0.0) term += v * std::log(v / u);
+    if (v < 1.0) term += (1.0 - v) * std::log((1.0 - v) / (1.0 - u));
+    acc += w * term;
+  }
+  return acc;
+}
+
+double LaserlightErrorOfNaive(double total_weight, double positive_rate) {
+  return total_weight * BinaryEntropy(positive_rate);
+}
+
+double MtvError(double total_weight, double model_entropy,
+                std::size_t verbosity) {
+  return total_weight * model_entropy +
+         0.5 * static_cast<double>(verbosity) * std::log(total_weight);
+}
+
+double MtvErrorOfNaive(double total_weight,
+                       const std::vector<double>& feature_marginals) {
+  double h = 0.0;
+  std::size_t verbosity = 0;
+  for (double p : feature_marginals) {
+    if (p > 0.0) {
+      h += BinaryEntropy(p);
+      ++verbosity;
+    }
+  }
+  return MtvError(total_weight, h, verbosity);
+}
+
+}  // namespace logr

@@ -1,0 +1,41 @@
+// Error measures of the baseline summarizers, including the closed forms
+// for naive encodings derived in paper Section 8.1.1.
+//
+// All values are in nats. Both measures are *extensive*: they scale with
+// the (weighted) number of data tuples |D|, so errors over disjoint
+// partitions add.
+#ifndef LOGR_SUMMARIZE_ERRORS_H_
+#define LOGR_SUMMARIZE_ERRORS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace logr {
+
+/// Laserlight error of a prediction model:
+/// Σ_t w_t [ v(t) ln(v(t)/u(t)) + (1-v(t)) ln((1-v(t))/(1-u(t))) ].
+/// `labels` are the true v(t) in [0,1], `predictions` the model u(t).
+double LaserlightError(const std::vector<double>& labels,
+                       const std::vector<double>& predictions,
+                       const std::vector<double>& weights);
+
+/// Closed form for the naive encoding (Sec. 8.1.1): the naive model
+/// predicts the global positive rate u for every tuple, giving
+/// -|D| (u ln u + (1-u) ln(1-u)).
+double LaserlightErrorOfNaive(double total_weight, double positive_rate);
+
+/// MTV error (Sec. 8.1.1): |D| H(ρ̂) + ½ |E| ln |D|, where ρ̂ is the
+/// summary's max-ent distribution. (The paper prints a minus sign on the
+/// first term; with -log-likelihood = |D| H(ρ̂) for a fitted max-ent
+/// model, the positive sign is the one under which "lower is better",
+/// matching the paper's Figure 6b trend. EXPERIMENTS.md discusses this.)
+double MtvError(double total_weight, double model_entropy,
+                std::size_t verbosity);
+
+/// Closed form for the naive encoding: H(ρ̂) = Σ_f h(p_f).
+double MtvErrorOfNaive(double total_weight,
+                       const std::vector<double>& feature_marginals);
+
+}  // namespace logr
+
+#endif  // LOGR_SUMMARIZE_ERRORS_H_

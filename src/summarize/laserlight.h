@@ -1,0 +1,53 @@
+// Laserlight: sample-guided explanation tables
+// (El Gebaly, Agrawal, Golab, Korn, Srivastava, PVLDB 8(1), 2014 — the
+// paper's baseline [20]).
+//
+// Summarizes data tuples t (binary feature vectors) augmented with a
+// binary outcome v(t). The summary is a list of patterns; the prediction
+// model u(t) is the maximum-entropy estimate consistent with each
+// pattern's observed outcome mass, fitted by iterative scaling over
+// pattern-containment classes of the *observed* tuples. Greedy mining
+// draws `sample_size` tuples per round (16 in the paper's configuration,
+// App. D.1), generates candidate patterns from sampled tuples and their
+// pairwise intersections, and keeps the candidate with the highest
+// estimated KL gain.
+#ifndef LOGR_SUMMARIZE_LASERLIGHT_H_
+#define LOGR_SUMMARIZE_LASERLIGHT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/feature_vec.h"
+
+namespace logr {
+
+struct LaserlightOptions {
+  std::size_t max_patterns = 15;
+  std::size_t sample_size = 16;  // candidate-sampling fan-out per round
+  std::uint64_t seed = 5;
+  int max_ipf_iterations = 200;
+  double ipf_tolerance = 1e-9;
+  /// Optional feature cap reproducing the PostgreSQL 100-argument limit
+  /// the paper hit (Sec. 7.2.2): only the `feature_cap` highest-entropy
+  /// features are visible to the miner. 0 = unlimited.
+  std::size_t feature_cap = 0;
+};
+
+struct LaserlightSummary {
+  std::vector<FeatureVec> patterns;      // excludes the implicit root
+  std::vector<double> pattern_means;     // observed outcome mean per pattern
+  std::vector<double> predictions;       // u(t) per input row
+  std::vector<double> error_trajectory;  // error after 0,1,...,k patterns
+  double error = 0.0;                    // final Laserlight error
+};
+
+/// Runs Laserlight. `labels` in [0,1] (outcome mean per distinct row),
+/// `weights` the row multiplicities (empty = uniform).
+LaserlightSummary RunLaserlight(const std::vector<FeatureVec>& rows,
+                                const std::vector<double>& labels,
+                                const std::vector<double>& weights,
+                                const LaserlightOptions& opts);
+
+}  // namespace logr
+
+#endif  // LOGR_SUMMARIZE_LASERLIGHT_H_

@@ -1,0 +1,183 @@
+#include "summarize/mixture_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/naive_encoding.h"
+#include "summarize/errors.h"
+#include "util/check.h"
+
+namespace logr {
+
+namespace {
+
+struct ClusterView {
+  std::vector<FeatureVec> rows;
+  std::vector<double> labels;
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  double positive_rate = 0.0;
+};
+
+std::vector<ClusterView> SplitClusters(const PartitionedData& data) {
+  LOGR_CHECK(data.assignment.size() == data.rows.size());
+  std::vector<ClusterView> views(data.num_clusters);
+  for (std::size_t r = 0; r < data.rows.size(); ++r) {
+    int c = data.assignment[r];
+    LOGR_CHECK(c >= 0 &&
+               static_cast<std::size_t>(c) < data.num_clusters);
+    ClusterView& v = views[c];
+    double w = data.weights.empty() ? 1.0 : data.weights[r];
+    v.rows.push_back(data.rows[r]);
+    v.labels.push_back(data.labels.empty() ? 0.0 : data.labels[r]);
+    v.weights.push_back(w);
+    v.total_weight += w;
+    v.positive_rate += w * (data.labels.empty() ? 0.0 : data.labels[r]);
+  }
+  for (ClusterView& v : views) {
+    if (v.total_weight > 0.0) v.positive_rate /= v.total_weight;
+  }
+  return views;
+}
+
+NaiveEncoding ClusterNaive(const ClusterView& v, std::size_t n_features) {
+  std::uint64_t count = static_cast<std::uint64_t>(
+      std::llround(std::max(1.0, v.total_weight)));
+  return NaiveEncoding::FromWeighted(v.rows, v.weights, n_features, count);
+}
+
+}  // namespace
+
+MixtureRunResult LaserlightMixture(const PartitionedData& data,
+                                   const std::vector<std::size_t>& budgets,
+                                   const LaserlightOptions& opts) {
+  std::vector<ClusterView> views = SplitClusters(data);
+  LOGR_CHECK(budgets.size() == views.size());
+  MixtureRunResult out;
+  for (std::size_t c = 0; c < views.size(); ++c) {
+    const ClusterView& v = views[c];
+    if (v.rows.empty()) {
+      out.cluster_errors.push_back(0.0);
+      out.cluster_patterns.push_back(0);
+      continue;
+    }
+    LaserlightOptions local = opts;
+    local.max_patterns = budgets[c];
+    local.seed = opts.seed + 101 * c;
+    LaserlightSummary s = RunLaserlight(v.rows, v.labels, v.weights, local);
+    out.cluster_errors.push_back(s.error);
+    out.cluster_patterns.push_back(s.patterns.size());
+    out.total_error += s.error;
+  }
+  return out;
+}
+
+MixtureRunResult MtvMixture(const PartitionedData& data,
+                            const std::vector<std::size_t>& budgets,
+                            const MtvOptions& opts) {
+  std::vector<ClusterView> views = SplitClusters(data);
+  LOGR_CHECK(budgets.size() == views.size());
+  MixtureRunResult out;
+  for (std::size_t c = 0; c < views.size(); ++c) {
+    const ClusterView& v = views[c];
+    if (v.rows.empty()) {
+      out.cluster_errors.push_back(0.0);
+      out.cluster_patterns.push_back(0);
+      continue;
+    }
+    std::size_t budget = std::min(budgets[c], opts.max_patterns);
+    MtvSummary s = RunMtv(v.rows, v.weights, data.n_features, budget, opts);
+    LOGR_CHECK(s.error_message.empty());
+    out.cluster_errors.push_back(s.bic);
+    out.cluster_patterns.push_back(s.itemsets.size());
+    out.total_error += s.bic;
+  }
+  return out;
+}
+
+std::vector<std::size_t> NaiveVerbosityBudgets(const PartitionedData& data) {
+  std::vector<ClusterView> views = SplitClusters(data);
+  std::vector<std::size_t> budgets;
+  budgets.reserve(views.size());
+  for (const ClusterView& v : views) {
+    if (v.rows.empty()) {
+      budgets.push_back(0);
+      continue;
+    }
+    budgets.push_back(ClusterNaive(v, data.n_features).Verbosity());
+  }
+  return budgets;
+}
+
+std::vector<std::size_t> FixedBudgets(const PartitionedData& data,
+                                      std::size_t total_patterns) {
+  std::vector<ClusterView> views = SplitClusters(data);
+  std::vector<double> score(views.size(), 0.0);
+  double total_score = 0.0;
+  for (std::size_t c = 0; c < views.size(); ++c) {
+    const ClusterView& v = views[c];
+    if (v.rows.empty()) continue;
+    NaiveEncoding enc = ClusterNaive(v, data.n_features);
+    double m = static_cast<double>(v.rows.size());          // distinct rows
+    double n = std::max<double>(1.0, enc.Verbosity());       // live features
+    double e = std::max(0.0, enc.ReproductionError());
+    score[c] = m / n * e;
+    total_score += score[c];
+  }
+  std::vector<std::size_t> budgets(views.size(), 0);
+  if (total_score <= 0.0) {
+    // Degenerate: all clusters already at zero error; spread evenly.
+    std::size_t nonempty = 0;
+    for (const ClusterView& v : views) {
+      if (!v.rows.empty()) ++nonempty;
+    }
+    if (nonempty == 0) return budgets;
+    for (std::size_t c = 0; c < views.size(); ++c) {
+      if (!views[c].rows.empty()) budgets[c] = total_patterns / nonempty;
+    }
+    return budgets;
+  }
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < views.size(); ++c) {
+    budgets[c] = static_cast<std::size_t>(
+        std::floor(score[c] / total_score * total_patterns));
+    assigned += budgets[c];
+  }
+  // Distribute the rounding remainder to the highest-score clusters.
+  std::vector<std::size_t> order(views.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return score[a] > score[b];
+  });
+  for (std::size_t i = 0; assigned < total_patterns && i < order.size();
+       ++i) {
+    if (views[order[i]].rows.empty()) continue;
+    ++budgets[order[i]];
+    ++assigned;
+  }
+  return budgets;
+}
+
+double NaiveLaserlightError(const PartitionedData& data) {
+  std::vector<ClusterView> views = SplitClusters(data);
+  double acc = 0.0;
+  for (const ClusterView& v : views) {
+    if (v.rows.empty()) continue;
+    acc += LaserlightErrorOfNaive(v.total_weight, v.positive_rate);
+  }
+  return acc;
+}
+
+double NaiveMtvError(const PartitionedData& data) {
+  std::vector<ClusterView> views = SplitClusters(data);
+  double acc = 0.0;
+  for (const ClusterView& v : views) {
+    if (v.rows.empty()) continue;
+    NaiveEncoding enc = ClusterNaive(v, data.n_features);
+    acc += MtvErrorOfNaive(v.total_weight, enc.marginals());
+  }
+  return acc;
+}
+
+}  // namespace logr

@@ -1,0 +1,126 @@
+#include "summarize/mtv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "maxent/factored_model.h"
+#include "summarize/errors.h"
+#include "util/check.h"
+
+namespace logr {
+
+namespace {
+
+double TotalWeight(const std::vector<FeatureVec>& rows,
+                   const std::vector<double>& weights) {
+  if (weights.empty()) return static_cast<double>(rows.size());
+  double t = 0.0;
+  for (double w : weights) t += w;
+  return t;
+}
+
+}  // namespace
+
+MtvSummary RunMtv(const std::vector<FeatureVec>& rows,
+                  const std::vector<double>& weights, std::size_t n_features,
+                  std::size_t num_patterns, const MtvOptions& opts) {
+  (void)n_features;
+  MtvSummary out;
+  if (num_patterns > opts.max_patterns) {
+    // Reproduces the baseline implementation's behaviour: requests over
+    // the ceiling abort instead of degrading (paper Sec. 7.2.2 / 8.1).
+    out.error_message =
+        "MTV: inference over " + std::to_string(opts.max_patterns) +
+        " patterns is not supported (practical inference ceiling)";
+    return out;
+  }
+  if (rows.empty()) return out;
+
+  const double total = TotalWeight(rows, weights);
+
+  // Background knowledge (Mampaey et al.): the per-item column margins.
+  std::unordered_map<FeatureId, double> margin;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    double w = weights.empty() ? 1.0 : weights[r];
+    for (FeatureId f : rows[r].ids) margin[f] += w;
+  }
+  std::vector<std::pair<FeatureId, double>> singletons;
+  singletons.reserve(margin.size());
+  for (const auto& [f, mass] : margin) {
+    singletons.emplace_back(f, mass / total);
+  }
+  std::sort(singletons.begin(), singletons.end());
+
+  // Candidate pool: frequent itemsets of size >= 2.
+  AprioriOptions ap;
+  ap.min_support = opts.min_support;
+  ap.max_size = opts.max_itemset_size;
+  ap.max_results = opts.max_candidates;
+  ap.min_size = 2;
+  std::vector<FrequentItemset> candidates =
+      MineFrequentItemsets(rows, weights, ap);
+
+  auto support_of = [&](const FeatureVec& b) {
+    double mass = 0.0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].ContainsAll(b)) {
+        mass += weights.empty() ? 1.0 : weights[r];
+      }
+    }
+    return mass / total;
+  };
+
+  auto refit = [&](const std::vector<FeatureVec>& itemsets) {
+    std::vector<FactoredMaxEnt::PatternConstraint> constraints;
+    constraints.reserve(itemsets.size());
+    for (const FeatureVec& b : itemsets) {
+      constraints.push_back({b, support_of(b)});
+    }
+    return FactoredMaxEnt(singletons, std::move(constraints));
+  };
+
+  FactoredMaxEnt model = refit(out.itemsets);
+  out.model_entropy = model.EntropyNats();
+  out.bic = MtvError(total, out.model_entropy, out.itemsets.size());
+  out.bic_trajectory.push_back(out.bic);
+
+  std::vector<bool> taken(candidates.size(), false);
+  for (std::size_t k = 0; k < num_patterns; ++k) {
+    // MTV's heuristic h: divergence between empirical support and the
+    // current model's estimate, weighted by support.
+    double best_score = 0.0;
+    std::size_t best = candidates.size();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (taken[c]) continue;
+      double q = candidates[c].support;
+      double p = model.MarginalOf(candidates[c].items);
+      constexpr double kEps = 1e-12;
+      double pq = std::min(1.0 - kEps, std::max(kEps, p));
+      double score = q * std::fabs(std::log(q / pq));
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best == candidates.size()) break;  // candidate pool exhausted
+
+    std::vector<FeatureVec> tentative = out.itemsets;
+    tentative.push_back(candidates[best].items);
+    FactoredMaxEnt next = refit(tentative);
+    double next_entropy = next.EntropyNats();
+    double next_bic = MtvError(total, next_entropy, tentative.size());
+    if (opts.bic_early_stop && next_bic >= out.bic) break;
+
+    taken[best] = true;
+    out.itemsets = std::move(tentative);
+    out.supports.push_back(candidates[best].support);
+    model = std::move(next);
+    out.model_entropy = next_entropy;
+    out.bic = next_bic;
+    out.bic_trajectory.push_back(out.bic);
+  }
+  return out;
+}
+
+}  // namespace logr

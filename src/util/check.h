@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros (Google-style CHECK / DCHECK).
+//
+// LOGR_CHECK aborts with a diagnostic in all build types and is reserved for
+// conditions whose violation would corrupt downstream state (e.g. mismatched
+// vector arity). LOGR_DCHECK compiles away in release builds and guards
+// internal invariants on hot paths.
+#ifndef LOGR_UTIL_CHECK_H_
+#define LOGR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define LOGR_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LOGR_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define LOGR_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LOGR_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define LOGR_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define LOGR_DCHECK(cond) LOGR_CHECK(cond)
+#endif
+
+#endif  // LOGR_UTIL_CHECK_H_

@@ -1,0 +1,39 @@
+// Aligned plain-text table output for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's tables or figures as a
+// column-aligned text table (one row per series point), so the rows can be
+// eyeballed against the paper or piped into a plotting script.
+#ifndef LOGR_UTIL_TABLE_PRINTER_H_
+#define LOGR_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace logr {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 4);
+  static std::string Fmt(std::size_t v);
+  static std::string Fmt(int v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,76 @@
+#include "workload/feature_vec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace logr {
+
+FeatureVec::FeatureVec(std::vector<FeatureId> raw_ids)
+    : ids(std::move(raw_ids)) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+bool FeatureVec::Contains(FeatureId f) const {
+  return std::binary_search(ids.begin(), ids.end(), f);
+}
+
+bool FeatureVec::ContainsAll(const FeatureVec& pattern) const {
+  return std::includes(ids.begin(), ids.end(), pattern.ids.begin(),
+                       pattern.ids.end());
+}
+
+std::size_t FeatureVec::IntersectionSize(const FeatureVec& o) const {
+  std::size_t count = 0;
+  auto a = ids.begin();
+  auto b = o.ids.begin();
+  while (a != ids.end() && b != o.ids.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+FeatureVec FeatureVec::Union(const FeatureVec& a, const FeatureVec& b) {
+  FeatureVec out;
+  out.ids.reserve(a.ids.size() + b.ids.size());
+  std::set_union(a.ids.begin(), a.ids.end(), b.ids.begin(), b.ids.end(),
+                 std::back_inserter(out.ids));
+  return out;
+}
+
+FeatureVec FeatureVec::Intersection(const FeatureVec& a,
+                                    const FeatureVec& b) {
+  FeatureVec out;
+  std::set_intersection(a.ids.begin(), a.ids.end(), b.ids.begin(),
+                        b.ids.end(), std::back_inserter(out.ids));
+  return out;
+}
+
+std::string FeatureVec::HashKey() const {
+  std::string key(ids.size() * sizeof(FeatureId), '\0');
+  if (!ids.empty()) {
+    std::memcpy(key.data(), ids.data(), key.size());
+  }
+  return key;
+}
+
+std::vector<double> FeatureVec::ToDense(std::size_t n) const {
+  std::vector<double> out(n, 0.0);
+  for (FeatureId f : ids) {
+    LOGR_DCHECK(f < n);
+    out[f] = 1.0;
+  }
+  return out;
+}
+
+}  // namespace logr

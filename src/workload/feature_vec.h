@@ -1,0 +1,53 @@
+// Sparse binary feature vectors (paper Section 2.1's patterns / queries).
+//
+// Queries touch ~15 of up to several thousand features, so both query
+// vectors and patterns are stored as sorted id lists. Containment, union,
+// intersection and distance kernels all run on the sorted-sparse form.
+#ifndef LOGR_WORKLOAD_FEATURE_VEC_H_
+#define LOGR_WORKLOAD_FEATURE_VEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/feature.h"
+
+namespace logr {
+
+/// A sorted, duplicate-free list of feature ids: the sparse form of the
+/// paper's 0/1 vectors. Used for both queries q and patterns b.
+struct FeatureVec {
+  std::vector<FeatureId> ids;
+
+  FeatureVec() = default;
+  explicit FeatureVec(std::vector<FeatureId> raw_ids);
+
+  std::size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+
+  bool operator==(const FeatureVec& o) const { return ids == o.ids; }
+  bool operator<(const FeatureVec& o) const { return ids < o.ids; }
+
+  /// True iff this vector has feature `f` set.
+  bool Contains(FeatureId f) const;
+
+  /// True iff `pattern` is contained in this vector (b' ⊆ b, Sec. 2.1).
+  bool ContainsAll(const FeatureVec& pattern) const;
+
+  /// Number of ids shared with `o`.
+  std::size_t IntersectionSize(const FeatureVec& o) const;
+
+  /// Set union / intersection.
+  static FeatureVec Union(const FeatureVec& a, const FeatureVec& b);
+  static FeatureVec Intersection(const FeatureVec& a, const FeatureVec& b);
+
+  /// Hash key (the ids memcpy'd into a string) for hash-map indexing.
+  std::string HashKey() const;
+
+  /// Dense 0/1 expansion of width `n`.
+  std::vector<double> ToDense(std::size_t n) const;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_WORKLOAD_FEATURE_VEC_H_

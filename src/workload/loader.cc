@@ -1,0 +1,72 @@
+#include "workload/loader.h"
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/check.h"
+
+namespace logr {
+
+LogLoader::LogLoader(Options opts) : opts_(std::move(opts)) {}
+
+bool LogLoader::AddSql(std::string_view raw_sql, std::uint64_t count) {
+  sql::ParseResult parsed = sql::Parse(raw_sql);
+  if (parsed.kind == sql::StatementKind::kParseError) {
+    num_parse_errors_ += count;
+    return false;
+  }
+  if (!parsed.ok()) {
+    num_non_select_ += count;
+    return false;
+  }
+  num_queries_ += count;
+
+  // Primary pass: constant-free regularization feeding the QueryLog.
+  sql::RegularizeInfo info;
+  sql::StatementPtr regular =
+      sql::Regularize(*parsed.statement, opts_.regularize, &info);
+  std::string canonical = sql::PrintStatement(*regular);
+  distinct_no_const_.insert(canonical);
+  if (info.conjunctive) distinct_conjunctive_.insert(canonical);
+  if (info.rewritable) distinct_rewritable_.insert(canonical);
+
+  FeatureVec vec =
+      ExtractFeatures(*regular, opts_.extract, log_.mutable_vocabulary());
+  log_.Add(vec, count, std::string(raw_sql));
+
+  // Secondary pass: with-constants statistics (Table 1 columns
+  // "# Distinct queries" and "# Distinct features").
+  if (opts_.track_with_constant_stats) {
+    sql::RegularizeOptions keep_consts = opts_.regularize;
+    keep_consts.anonymize_constants = false;
+    sql::RegularizeInfo unused;
+    sql::StatementPtr with_const =
+        sql::Regularize(*parsed.statement, keep_consts, &unused);
+    distinct_with_const_.insert(sql::PrintStatement(*with_const));
+    for (const Feature& f : ListFeatures(*with_const, opts_.extract)) {
+      with_const_vocab_.Intern(f);
+    }
+  }
+  return true;
+}
+
+DatasetSummary LogLoader::Summary(std::string name) const {
+  DatasetSummary s;
+  s.name = std::move(name);
+  s.num_queries = num_queries_;
+  s.num_non_select = num_non_select_;
+  s.num_parse_errors = num_parse_errors_;
+  s.num_distinct = opts_.track_with_constant_stats
+                       ? distinct_with_const_.size()
+                       : distinct_no_const_.size();
+  s.num_distinct_no_const = distinct_no_const_.size();
+  s.num_distinct_conjunctive = distinct_conjunctive_.size();
+  s.num_distinct_rewritable = distinct_rewritable_.size();
+  s.max_multiplicity = log_.MaxMultiplicity();
+  s.num_features = opts_.track_with_constant_stats ? with_const_vocab_.size()
+                                                   : log_.NumFeatures();
+  s.num_features_no_const = log_.NumFeatures();
+  s.avg_features_per_query = log_.AvgFeaturesPerQuery();
+  return s;
+}
+
+}  // namespace logr

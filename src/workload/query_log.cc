@@ -1,0 +1,85 @@
+#include "workload/query_log.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace logr {
+
+void QueryLog::Add(const FeatureVec& q, std::uint64_t count,
+                   std::string sample_sql) {
+  LOGR_CHECK(count > 0);
+  if (!q.ids.empty()) {
+    std::size_t bound = static_cast<std::size_t>(q.ids.back()) + 1;
+    if (bound > max_feature_bound_) max_feature_bound_ = bound;
+  }
+  std::string key = q.HashKey();
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    index_.emplace(std::move(key), distinct_.size());
+    distinct_.push_back(q);
+    counts_.push_back(count);
+    sql_.push_back(std::move(sample_sql));
+  } else {
+    counts_[it->second] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t QueryLog::MaxMultiplicity() const {
+  std::uint64_t best = 0;
+  for (std::uint64_t c : counts_) best = std::max(best, c);
+  return best;
+}
+
+double QueryLog::Probability(std::size_t i) const {
+  LOGR_CHECK(i < counts_.size() && total_ > 0);
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+std::uint64_t QueryLog::CountContaining(const FeatureVec& b) const {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < distinct_.size(); ++i) {
+    if (distinct_[i].ContainsAll(b)) count += counts_[i];
+  }
+  return count;
+}
+
+double QueryLog::Marginal(const FeatureVec& b) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(CountContaining(b)) /
+         static_cast<double>(total_);
+}
+
+double QueryLog::EmpiricalEntropy() const {
+  if (total_ == 0) return 0.0;
+  double h = 0.0;
+  for (std::uint64_t c : counts_) {
+    double p = static_cast<double>(c) / static_cast<double>(total_);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double QueryLog::AvgFeaturesPerQuery() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < distinct_.size(); ++i) {
+    acc += static_cast<double>(counts_[i]) *
+           static_cast<double>(distinct_[i].size());
+  }
+  return acc / static_cast<double>(total_);
+}
+
+QueryLog QueryLog::Subset(const std::vector<std::size_t>& indices) const {
+  QueryLog out;
+  out.vocab_ = vocab_;
+  for (std::size_t i : indices) {
+    LOGR_CHECK(i < distinct_.size());
+    out.Add(distinct_[i], counts_[i], sql_[i]);
+  }
+  return out;
+}
+
+}  // namespace logr

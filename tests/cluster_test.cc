@@ -1,0 +1,265 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cluster/distance.h"
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "cluster/spectral.h"
+#include "gtest/gtest.h"
+#include "util/prng.h"
+
+namespace logr {
+namespace {
+
+// Two well-separated groups of binary vectors over disjoint feature
+// ranges, with noise.
+struct TwoBlobs {
+  std::vector<FeatureVec> vecs;
+  std::vector<int> truth;
+};
+
+TwoBlobs MakeTwoBlobs(std::size_t per_group, std::size_t n, Pcg32* rng) {
+  TwoBlobs out;
+  for (std::size_t g = 0; g < 2; ++g) {
+    for (std::size_t i = 0; i < per_group; ++i) {
+      std::vector<FeatureId> ids;
+      std::size_t lo = g == 0 ? 0 : n / 2;
+      std::size_t hi = g == 0 ? n / 2 : n;
+      for (std::size_t f = lo; f < hi; ++f) {
+        if (rng->NextBernoulli(0.6)) ids.push_back(static_cast<FeatureId>(f));
+      }
+      if (ids.empty()) ids.push_back(static_cast<FeatureId>(lo));
+      out.vecs.push_back(FeatureVec(std::move(ids)));
+      out.truth.push_back(static_cast<int>(g));
+    }
+  }
+  return out;
+}
+
+// Fraction of pairs whose co-clustering matches the ground truth
+// (Rand index).
+double RandIndex(const std::vector<int>& a, const std::vector<int>& b) {
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      bool same_a = a[i] == a[j];
+      bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+TEST(DistanceTest, SymmetricDifferenceKnown) {
+  FeatureVec a({1, 2, 3});
+  FeatureVec b({2, 3, 4, 5});
+  EXPECT_EQ(SymmetricDifference(a, b), 3u);
+  EXPECT_EQ(SymmetricDifference(a, a), 0u);
+}
+
+TEST(DistanceTest, MetricFormulas) {
+  FeatureVec a({0, 1});
+  FeatureVec b({1, 2, 3});
+  const std::size_t n = 10;
+  // symmetric difference = 3
+  DistanceSpec spec;
+  spec.metric = Metric::kEuclidean;
+  EXPECT_NEAR(Distance(a, b, n, spec), std::sqrt(3.0), 1e-12);
+  spec.metric = Metric::kManhattan;
+  EXPECT_NEAR(Distance(a, b, n, spec), 3.0, 1e-12);
+  spec.metric = Metric::kMinkowski;
+  spec.p = 4.0;
+  EXPECT_NEAR(Distance(a, b, n, spec), std::pow(3.0, 0.25), 1e-12);
+  spec.metric = Metric::kHamming;
+  EXPECT_NEAR(Distance(a, b, n, spec), 0.3, 1e-12);
+  spec.metric = Metric::kChebyshev;
+  EXPECT_NEAR(Distance(a, b, n, spec), 1.0, 1e-12);
+  spec.metric = Metric::kCanberra;
+  EXPECT_NEAR(Distance(a, b, n, spec), 3.0, 1e-12);
+}
+
+TEST(DistanceTest, IdentityAndSymmetry) {
+  Pcg32 rng(3);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<FeatureId> ia, ib;
+    for (FeatureId f = 0; f < 12; ++f) {
+      if (rng.NextBernoulli(0.4)) ia.push_back(f);
+      if (rng.NextBernoulli(0.4)) ib.push_back(f);
+    }
+    FeatureVec a(std::move(ia)), b(std::move(ib));
+    for (Metric m : {Metric::kEuclidean, Metric::kManhattan,
+                     Metric::kMinkowski, Metric::kHamming}) {
+      DistanceSpec spec;
+      spec.metric = m;
+      EXPECT_DOUBLE_EQ(Distance(a, a, 12, spec), 0.0);
+      EXPECT_DOUBLE_EQ(Distance(a, b, 12, spec), Distance(b, a, 12, spec));
+    }
+  }
+}
+
+TEST(DistanceTest, MatrixSymmetricZeroDiagonal) {
+  Pcg32 rng(5);
+  TwoBlobs blobs = MakeTwoBlobs(6, 10, &rng);
+  DistanceSpec spec;
+  Matrix d = DistanceMatrix(blobs.vecs, 10, spec);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(KMeansTest, RecoversTwoBlobs) {
+  Pcg32 rng(7);
+  TwoBlobs blobs = MakeTwoBlobs(20, 16, &rng);
+  KMeansOptions opts;
+  opts.k = 2;
+  opts.seed = 3;
+  ClusteringResult r = KMeansSparse(blobs.vecs, {}, 16, opts);
+  EXPECT_GE(RandIndex(r.assignment, blobs.truth), 0.95);
+}
+
+TEST(KMeansTest, KOneGivesSingleCluster) {
+  Pcg32 rng(9);
+  TwoBlobs blobs = MakeTwoBlobs(5, 8, &rng);
+  KMeansOptions opts;
+  opts.k = 1;
+  ClusteringResult r = KMeansSparse(blobs.vecs, {}, 8, opts);
+  for (int a : r.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithK) {
+  Pcg32 rng(11);
+  TwoBlobs blobs = MakeTwoBlobs(25, 20, &rng);
+  double prev = 1e300;
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.seed = 5;
+    opts.n_init = 4;
+    ClusteringResult r = KMeansSparse(blobs.vecs, {}, 20, opts);
+    EXPECT_LE(r.inertia, prev + 1e-9) << "k=" << k;
+    prev = r.inertia;
+  }
+}
+
+TEST(KMeansTest, WeightsPullCentroids) {
+  // Two identical groups; giving one vector huge weight should never
+  // leave its cluster empty.
+  std::vector<FeatureVec> vecs = {FeatureVec({0}), FeatureVec({0}),
+                                  FeatureVec({5})};
+  std::vector<double> w = {1.0, 1.0, 1000.0};
+  KMeansOptions opts;
+  opts.k = 2;
+  ClusteringResult r = KMeansSparse(vecs, w, 6, opts);
+  EXPECT_NE(r.assignment[2], r.assignment[0]);
+}
+
+TEST(KMeansTest, DenseMatchesExpectations) {
+  std::vector<Vector> pts = {{0.0, 0.0}, {0.1, 0.0}, {5.0, 5.0},
+                             {5.1, 4.9}};
+  KMeansOptions opts;
+  opts.k = 2;
+  ClusteringResult r = KMeansDense(pts, {}, opts);
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[2], r.assignment[3]);
+  EXPECT_NE(r.assignment[0], r.assignment[2]);
+}
+
+TEST(KMeansTest, MoreClustersThanPointsClamped) {
+  std::vector<FeatureVec> vecs = {FeatureVec({0}), FeatureVec({1})};
+  KMeansOptions opts;
+  opts.k = 10;
+  ClusteringResult r = KMeansSparse(vecs, {}, 2, opts);
+  EXPECT_EQ(r.k, 2u);
+}
+
+class SpectralMetricTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(SpectralMetricTest, RecoversTwoBlobs) {
+  Pcg32 rng(13);
+  TwoBlobs blobs = MakeTwoBlobs(15, 14, &rng);
+  SpectralOptions opts;
+  opts.k = 2;
+  opts.distance.metric = GetParam();
+  opts.distance.p = 4.0;
+  opts.seed = 7;
+  ClusteringResult r = SpectralCluster(blobs.vecs, {}, 14, opts);
+  EXPECT_GE(RandIndex(r.assignment, blobs.truth), 0.9)
+      << "metric " << opts.distance.Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, SpectralMetricTest,
+                         ::testing::Values(Metric::kEuclidean,
+                                           Metric::kManhattan,
+                                           Metric::kMinkowski,
+                                           Metric::kHamming));
+
+TEST(SpectralTest, KOneTrivial) {
+  Pcg32 rng(15);
+  TwoBlobs blobs = MakeTwoBlobs(4, 8, &rng);
+  SpectralOptions opts;
+  opts.k = 1;
+  ClusteringResult r = SpectralCluster(blobs.vecs, {}, 8, opts);
+  for (int a : r.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(HierarchicalTest, CutSizesAreExact) {
+  Pcg32 rng(17);
+  TwoBlobs blobs = MakeTwoBlobs(10, 12, &rng);
+  DistanceSpec spec;
+  spec.metric = Metric::kHamming;
+  Matrix d = DistanceMatrix(blobs.vecs, 12, spec);
+  Dendrogram dg = AgglomerativeAverageLinkage(d, {});
+  for (std::size_t k = 1; k <= blobs.vecs.size(); ++k) {
+    std::vector<int> cut = dg.CutToK(k);
+    std::set<int> labels(cut.begin(), cut.end());
+    EXPECT_EQ(labels.size(), k) << "k=" << k;
+  }
+}
+
+TEST(HierarchicalTest, CutsAreMonotone) {
+  // Cutting at K+1 must refine the cut at K: any two leaves together at
+  // K+1 are together at K (paper Sec. 6.1.1's monotonic assignments).
+  Pcg32 rng(19);
+  TwoBlobs blobs = MakeTwoBlobs(12, 10, &rng);
+  DistanceSpec spec;
+  Matrix d = DistanceMatrix(blobs.vecs, 10, spec);
+  Dendrogram dg = AgglomerativeAverageLinkage(d, {});
+  for (std::size_t k = 1; k + 1 <= blobs.vecs.size(); ++k) {
+    std::vector<int> coarse = dg.CutToK(k);
+    std::vector<int> fine = dg.CutToK(k + 1);
+    for (std::size_t i = 0; i < coarse.size(); ++i) {
+      for (std::size_t j = i + 1; j < coarse.size(); ++j) {
+        if (fine[i] == fine[j]) {
+          EXPECT_EQ(coarse[i], coarse[j])
+              << "k=" << k << " leaves " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(HierarchicalTest, RecoversTwoBlobsAtK2) {
+  Pcg32 rng(21);
+  TwoBlobs blobs = MakeTwoBlobs(12, 12, &rng);
+  DistanceSpec spec;
+  spec.metric = Metric::kHamming;
+  Matrix d = DistanceMatrix(blobs.vecs, 12, spec);
+  Dendrogram dg = AgglomerativeAverageLinkage(d, {});
+  std::vector<int> cut = dg.CutToK(2);
+  EXPECT_GE(RandIndex(cut, blobs.truth), 0.95);
+}
+
+TEST(HierarchicalTest, SingleLeafDegenerate) {
+  Matrix d(1, 1);
+  Dendrogram dg = AgglomerativeAverageLinkage(d, {});
+  EXPECT_EQ(dg.num_leaves, 1u);
+  EXPECT_EQ(dg.CutToK(1), std::vector<int>{0});
+}
+
+}  // namespace
+}  // namespace logr

@@ -1,0 +1,157 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "maxent/entropy.h"
+#include "maxent/factored_model.h"
+#include "maxent/scaling.h"
+#include "maxent/signature_space.h"
+#include "util/prng.h"
+
+namespace logr {
+namespace {
+
+TEST(FactoredMaxEntTest, NoPatternsIsIndependence) {
+  FactoredMaxEnt model({{0, 0.3}, {1, 0.8}, {2, 0.5}}, {});
+  EXPECT_NEAR(model.EntropyNats(),
+              BinaryEntropy(0.3) + BinaryEntropy(0.8) + BinaryEntropy(0.5),
+              1e-9);
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({0, 1})), 0.24, 1e-9);
+  EXPECT_EQ(model.num_blocks(), 0u);
+}
+
+TEST(FactoredMaxEntTest, UnknownFeatureZeroMarginal) {
+  FactoredMaxEnt model({{0, 0.3}}, {});
+  EXPECT_DOUBLE_EQ(model.MarginalOf(FeatureVec({9})), 0.0);
+}
+
+TEST(FactoredMaxEntTest, PatternConstraintIsHonored) {
+  // Features 0,1 with marginals 0.5, and joint pinned to 0.4 (correlated:
+  // independence would give 0.25).
+  FactoredMaxEnt model({{0, 0.5}, {1, 0.5}},
+                       {{FeatureVec({0, 1}), 0.4}});
+  EXPECT_EQ(model.num_blocks(), 1u);
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({0, 1})), 0.4, 1e-6);
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({0})), 0.5, 1e-6);
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({1})), 0.5, 1e-6);
+}
+
+TEST(FactoredMaxEntTest, EntropyDropsWithCorrelationConstraint) {
+  FactoredMaxEnt independent({{0, 0.5}, {1, 0.5}}, {});
+  FactoredMaxEnt correlated({{0, 0.5}, {1, 0.5}},
+                            {{FeatureVec({0, 1}), 0.45}});
+  EXPECT_LT(correlated.EntropyNats(), independent.EntropyNats());
+  // An uninformative joint (exactly the independent value) keeps the
+  // entropy unchanged.
+  FactoredMaxEnt neutral({{0, 0.5}, {1, 0.5}},
+                         {{FeatureVec({0, 1}), 0.25}});
+  EXPECT_NEAR(neutral.EntropyNats(), independent.EntropyNats(), 1e-6);
+}
+
+TEST(FactoredMaxEntTest, MatchesLatticeModelOnSmallUniverse) {
+  // Cross-check the factored model against the signature-lattice model
+  // (which can represent singleton+pattern constraints when they fit
+  // within the pattern limit).
+  const double p0 = 0.6, p1 = 0.3, joint = 0.25;
+  FactoredMaxEnt factored({{0, p0}, {1, p1}},
+                          {{FeatureVec({0, 1}), joint}});
+  std::vector<FeatureVec> patterns = {FeatureVec({0}), FeatureVec({1}),
+                                      FeatureVec({0, 1})};
+  SignatureSpace space(patterns, 2);
+  MaxEntModel lattice(&space, {p0, p1, joint});
+  EXPECT_NEAR(factored.EntropyNats(), lattice.EntropyNats(), 1e-6);
+  EXPECT_NEAR(factored.MarginalOf(FeatureVec({0, 1})),
+              lattice.MarginalOf(FeatureVec({0, 1})), 1e-6);
+}
+
+TEST(FactoredMaxEntTest, IndependentBlocksFactorize) {
+  // Two disjoint pattern blocks: marginals multiply across blocks.
+  FactoredMaxEnt model(
+      {{0, 0.5}, {1, 0.5}, {2, 0.4}, {3, 0.4}},
+      {{FeatureVec({0, 1}), 0.4}, {FeatureVec({2, 3}), 0.3}});
+  EXPECT_EQ(model.num_blocks(), 2u);
+  double cross = model.MarginalOf(FeatureVec({0, 2}));
+  EXPECT_NEAR(cross, model.MarginalOf(FeatureVec({0})) *
+                         model.MarginalOf(FeatureVec({2})),
+              1e-9);
+  double both_patterns = model.MarginalOf(FeatureVec({0, 1, 2, 3}));
+  EXPECT_NEAR(both_patterns, 0.4 * 0.3, 1e-6);
+}
+
+TEST(FactoredMaxEntTest, ChainedPatternsMergeBlocks) {
+  FactoredMaxEnt model(
+      {{0, 0.5}, {1, 0.5}, {2, 0.5}},
+      {{FeatureVec({0, 1}), 0.3}, {FeatureVec({1, 2}), 0.3}});
+  EXPECT_EQ(model.num_blocks(), 1u);
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({0, 1})), 0.3, 1e-6);
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({1, 2})), 0.3, 1e-6);
+}
+
+TEST(FactoredMaxEntTest, BlockCeilingDropsLowPriorityPatterns) {
+  // A chain that would grow one block beyond the ceiling: later patterns
+  // (lower priority) are dropped.
+  std::vector<FactoredMaxEnt::PatternConstraint> chain;
+  std::vector<std::pair<FeatureId, double>> singles;
+  for (FeatureId f = 0; f < 8; ++f) singles.emplace_back(f, 0.5);
+  for (FeatureId f = 0; f + 1 < 8; ++f) {
+    chain.push_back({FeatureVec({f, f + 1}), 0.3});
+  }
+  FactoredMaxEnt model(singles, chain, /*max_block_features=*/4);
+  EXPECT_LT(model.retained_patterns().size(), chain.size());
+  for (const FeatureVec& b : model.retained_patterns()) {
+    EXPECT_NEAR(model.MarginalOf(b), 0.3, 1e-6);
+  }
+}
+
+TEST(FactoredMaxEntTest, SingletonPatternsIgnored) {
+  FactoredMaxEnt model({{0, 0.5}}, {{FeatureVec({0}), 0.7}});
+  // Single-feature "patterns" are the base model; the 0.5 wins.
+  EXPECT_TRUE(model.retained_patterns().empty());
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({0})), 0.5, 1e-9);
+}
+
+// Property sweep: for random consistent inputs the fitted model
+// reproduces every constraint.
+class FactoredFitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactoredFitProperty, ConstraintsReproduced) {
+  Pcg32 rng(100 + GetParam());
+  const std::size_t n = 6;
+  // Build an empirical distribution to draw consistent marginals from.
+  std::vector<FeatureVec> rows;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<FeatureId> ids;
+    bool group = rng.NextBernoulli(0.5);
+    for (FeatureId f = 0; f < n; ++f) {
+      double p = (group == (f < n / 2)) ? 0.7 : 0.2;
+      if (rng.NextBernoulli(p)) ids.push_back(f);
+    }
+    rows.push_back(FeatureVec(std::move(ids)));
+  }
+  auto support = [&](const FeatureVec& b) {
+    double m = 0;
+    for (const auto& r : rows) {
+      if (r.ContainsAll(b)) m += 1;
+    }
+    return m / rows.size();
+  };
+  std::vector<std::pair<FeatureId, double>> singles;
+  for (FeatureId f = 0; f < n; ++f) {
+    singles.emplace_back(f, support(FeatureVec({f})));
+  }
+  std::vector<FactoredMaxEnt::PatternConstraint> pats;
+  pats.push_back({FeatureVec({0, 1}), support(FeatureVec({0, 1}))});
+  pats.push_back({FeatureVec({3, 4, 5}), support(FeatureVec({3, 4, 5}))});
+  FactoredMaxEnt model(singles, pats);
+  for (const auto& [f, p] : singles) {
+    EXPECT_NEAR(model.MarginalOf(FeatureVec({f})), p, 1e-5);
+  }
+  for (const auto& pc : pats) {
+    EXPECT_NEAR(model.MarginalOf(pc.pattern), pc.marginal, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactoredFitProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace logr

@@ -1,0 +1,299 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "maxent/deviation.h"
+#include "maxent/entropy.h"
+#include "maxent/omega_sampler.h"
+#include "maxent/projected_log.h"
+#include "maxent/scaling.h"
+#include "maxent/signature_space.h"
+#include "util/prng.h"
+
+namespace logr {
+namespace {
+
+TEST(EntropyTest, KnownValues) {
+  EXPECT_NEAR(Entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Entropy({1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(Entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, BinaryEntropySymmetricAndBounded) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+  EXPECT_NEAR(BinaryEntropy(0.5), std::log(2.0), 1e-12);
+  EXPECT_NEAR(BinaryEntropy(0.3), BinaryEntropy(0.7), 1e-12);
+}
+
+TEST(EntropyTest, KlDivergenceProperties) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> q = {0.9, 0.1};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  // Smoothing keeps KL finite when q has zeros.
+  std::vector<double> q0 = {1.0, 0.0};
+  EXPECT_TRUE(std::isfinite(KlDivergence(p, q0)));
+}
+
+TEST(SignatureSpaceTest, NoPatternsSingleClass) {
+  SignatureSpace space({}, 4);
+  EXPECT_EQ(space.num_classes(), 1u);
+  EXPECT_DOUBLE_EQ(space.ClassFraction(0), 1.0);
+  EXPECT_NEAR(space.LogClassSize(0), 4 * std::log(2.0), 1e-12);
+}
+
+TEST(SignatureSpaceTest, SinglePatternSplitsSpace) {
+  // Pattern {0,1} over 3 features: 2 of 8 vectors contain it.
+  SignatureSpace space({FeatureVec({0, 1})}, 3);
+  EXPECT_EQ(space.num_classes(), 2u);
+  EXPECT_NEAR(space.ClassFraction(1), 0.25, 1e-12);
+  EXPECT_NEAR(space.ClassFraction(0), 0.75, 1e-12);
+}
+
+TEST(SignatureSpaceTest, FractionsSumToOne) {
+  std::vector<FeatureVec> patterns = {FeatureVec({0, 1}), FeatureVec({1, 2}),
+                                      FeatureVec({3})};
+  SignatureSpace space(patterns, 6);
+  double total = 0.0;
+  for (std::uint32_t s = 0; s < space.num_classes(); ++s) {
+    total += space.ClassFraction(s);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SignatureSpaceTest, MatchesBruteForceEnumeration) {
+  // n = 10 features, 3 overlapping patterns: compare against explicit
+  // enumeration of all 1024 vectors.
+  std::vector<FeatureVec> patterns = {FeatureVec({0, 1}), FeatureVec({1, 2, 3}),
+                                      FeatureVec({4})};
+  const std::size_t n = 10;
+  SignatureSpace space(patterns, n);
+  std::vector<double> count(space.num_classes(), 0.0);
+  for (std::uint32_t v = 0; v < (1u << n); ++v) {
+    std::vector<FeatureId> ids;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (v & (1u << f)) ids.push_back(static_cast<FeatureId>(f));
+    }
+    count[space.SignatureOf(FeatureVec(std::move(ids)))] += 1.0;
+  }
+  for (std::uint32_t s = 0; s < space.num_classes(); ++s) {
+    EXPECT_NEAR(space.ClassFraction(s), count[s] / 1024.0, 1e-9)
+        << "class " << s;
+  }
+}
+
+TEST(SignatureSpaceTest, SignatureOfRespectsContainment) {
+  std::vector<FeatureVec> patterns = {FeatureVec({0}), FeatureVec({0, 1})};
+  SignatureSpace space(patterns, 3);
+  EXPECT_EQ(space.SignatureOf(FeatureVec({0})), 1u);
+  EXPECT_EQ(space.SignatureOf(FeatureVec({0, 1})), 3u);
+  EXPECT_EQ(space.SignatureOf(FeatureVec({2})), 0u);
+}
+
+TEST(SignatureSpaceTest, ClassFractionsContainingBruteForce) {
+  std::vector<FeatureVec> patterns = {FeatureVec({0, 1}), FeatureVec({2})};
+  const std::size_t n = 8;
+  SignatureSpace space(patterns, n);
+  FeatureVec b({1, 2});
+  std::vector<double> got = space.ClassFractionsContaining(b);
+  std::vector<double> expected(space.num_classes(), 0.0);
+  for (std::uint32_t v = 0; v < (1u << n); ++v) {
+    std::vector<FeatureId> ids;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (v & (1u << f)) ids.push_back(static_cast<FeatureId>(f));
+    }
+    FeatureVec q(std::move(ids));
+    if (q.ContainsAll(b)) expected[space.SignatureOf(q)] += 1.0 / 256.0;
+  }
+  for (std::uint32_t s = 0; s < space.num_classes(); ++s) {
+    EXPECT_NEAR(got[s], expected[s], 1e-9);
+  }
+}
+
+TEST(MaxEntModelTest, NoConstraintsIsUniform) {
+  SignatureSpace space({}, 5);
+  MaxEntModel model(&space, {});
+  EXPECT_NEAR(model.EntropyNats(), 5 * std::log(2.0), 1e-9);
+}
+
+TEST(MaxEntModelTest, SingleFeatureConstraintClosedForm) {
+  // One pattern = single feature with marginal p: the max-ent entropy is
+  // h(p) + (n-1) ln 2.
+  const double p = 0.3;
+  SignatureSpace space({FeatureVec({0})}, 4);
+  MaxEntModel model(&space, {p});
+  EXPECT_TRUE(model.converged());
+  EXPECT_NEAR(model.EntropyNats(), BinaryEntropy(p) + 3 * std::log(2.0),
+              1e-6);
+}
+
+TEST(MaxEntModelTest, IndependentFeaturesFactorize) {
+  // Two disjoint single-feature patterns: H = h(p0) + h(p1) + (n-2) ln 2.
+  SignatureSpace space({FeatureVec({0}), FeatureVec({1})}, 3);
+  MaxEntModel model(&space, {0.2, 0.7});
+  EXPECT_NEAR(model.EntropyNats(),
+              BinaryEntropy(0.2) + BinaryEntropy(0.7) + std::log(2.0), 1e-6);
+}
+
+TEST(MaxEntModelTest, MarginalsAreReproduced) {
+  std::vector<FeatureVec> patterns = {FeatureVec({0, 1}), FeatureVec({1, 2})};
+  SignatureSpace space(patterns, 5);
+  MaxEntModel model(&space, {0.3, 0.15});
+  EXPECT_LT(model.MaxResidual(), 1e-7);
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({0, 1})), 0.3, 1e-6);
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({1, 2})), 0.15, 1e-6);
+}
+
+TEST(MaxEntModelTest, MarginalOfUnconstrainedFeatureIsHalf) {
+  SignatureSpace space({FeatureVec({0})}, 3);
+  MaxEntModel model(&space, {0.8});
+  // Feature 2 is untouched by any constraint: marginal 1/2 under max-ent.
+  EXPECT_NEAR(model.MarginalOf(FeatureVec({2})), 0.5, 1e-6);
+}
+
+// Lemma 1: adding constraints never increases max-ent entropy.
+TEST(MaxEntModelTest, Lemma1MoreConstraintsLowerEntropy) {
+  Pcg32 rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6;
+    // Random log of 20 vectors to give consistent marginals.
+    std::vector<FeatureVec> vecs;
+    std::vector<double> probs(20, 0.05);
+    for (int i = 0; i < 20; ++i) {
+      std::vector<FeatureId> ids;
+      for (std::size_t f = 0; f < n; ++f) {
+        if (rng.NextBernoulli(0.4)) ids.push_back(static_cast<FeatureId>(f));
+      }
+      vecs.push_back(FeatureVec(std::move(ids)));
+    }
+    ProjectedLog log(vecs, probs, n);
+    std::vector<FeatureVec> p1 = {FeatureVec({0, 1})};
+    std::vector<FeatureVec> p2 = {FeatureVec({0, 1}), FeatureVec({2, 3})};
+    ProjectedEncoding e1 = ProjectedEncoding::Measure(log, p1);
+    ProjectedEncoding e2 = ProjectedEncoding::Measure(log, p2);
+    SignatureSpace s1(e1.patterns, n), s2(e2.patterns, n);
+    MaxEntModel m1(&s1, e1.marginals), m2(&s2, e2.marginals);
+    EXPECT_LE(m2.EntropyNats(), m1.EntropyNats() + 1e-9);
+  }
+}
+
+TEST(ProjectedLogTest, ProjectionMergesVectors) {
+  QueryLog log;
+  log.Add(FeatureVec({0, 1, 5}), 2);
+  log.Add(FeatureVec({0, 1, 6}), 3);
+  log.Add(FeatureVec({2}), 5);
+  // Keep features {0, 1, 2}: first two vectors merge.
+  ProjectedLog proj(log, {0, 1, 2});
+  EXPECT_EQ(proj.num_features(), 3u);
+  EXPECT_EQ(proj.num_distinct(), 2u);
+  EXPECT_NEAR(proj.Marginal(FeatureVec({0, 1})), 0.5, 1e-12);
+}
+
+TEST(ProjectedLogTest, FeatureBandSelection) {
+  QueryLog log;
+  log.Add(FeatureVec({0, 1}), 99);
+  log.Add(FeatureVec({0, 2}), 1);
+  // Feature 0 has marginal 1.0 (excluded), 1 has 0.99, 2 has 0.01.
+  std::vector<FeatureId> band =
+      ProjectedLog::SelectFeaturesInBand(log, 0.01, 0.99);
+  EXPECT_EQ(band, (std::vector<FeatureId>{1, 2}));
+}
+
+TEST(OmegaSamplerTest, SamplesSatisfyConstraints) {
+  std::vector<FeatureVec> patterns = {FeatureVec({0}), FeatureVec({1, 2})};
+  SignatureSpace space(patterns, 4);
+  std::vector<double> marginals = {0.4, 0.2};
+  OmegaSampler sampler(&space, marginals);
+  Pcg32 rng(11);
+  for (int s = 0; s < 20; ++s) {
+    std::vector<double> rho = sampler.Sample(&rng);
+    double total = 0.0, m0 = 0.0, m1 = 0.0;
+    for (std::size_t cls = 0; cls < rho.size(); ++cls) {
+      EXPECT_GE(rho[cls], 0.0);
+      total += rho[cls];
+      if (cls & 1u) m0 += rho[cls];
+      if (cls & 2u) m1 += rho[cls];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NEAR(m0, 0.4, 0.03);
+    EXPECT_NEAR(m1, 0.2, 0.03);
+  }
+}
+
+TEST(OmegaSamplerTest, SamplesVary) {
+  // Two patterns over n=3 leave the feasible polytope with positive
+  // dimension, so distinct samples should differ.
+  std::vector<FeatureVec> patterns = {FeatureVec({0}), FeatureVec({1})};
+  SignatureSpace space(patterns, 3);
+  OmegaSampler sampler(&space, {0.5, 0.4});
+  Pcg32 rng(13);
+  std::vector<double> a = sampler.Sample(&rng);
+  std::vector<double> b = sampler.Sample(&rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(OmegaSamplerTest, FullyConstrainedSpaceIsDeterministic) {
+  // One pattern over its own 2-class lattice pins both class masses:
+  // every sample must coincide.
+  SignatureSpace space({FeatureVec({0})}, 3);
+  OmegaSampler sampler(&space, {0.5});
+  Pcg32 rng(13);
+  std::vector<double> a = sampler.Sample(&rng);
+  std::vector<double> b = sampler.Sample(&rng);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(DeviationTest, ExactEncodingHasLowDeviation) {
+  // A log over 2 features where the encoding pins everything down.
+  std::vector<FeatureVec> vecs = {FeatureVec({0}), FeatureVec({1})};
+  std::vector<double> probs = {0.5, 0.5};
+  ProjectedLog log(vecs, probs, 2);
+  // Rich encoding: both singletons and the pair.
+  ProjectedEncoding rich = ProjectedEncoding::Measure(
+      log, {FeatureVec({0}), FeatureVec({1}), FeatureVec({0, 1})});
+  ProjectedEncoding poor = ProjectedEncoding::Measure(log, {FeatureVec({0})});
+  DeviationResult d_rich = EstimateDeviation(log, rich, 200, 5);
+  DeviationResult d_poor = EstimateDeviation(log, poor, 200, 5);
+  EXPECT_LT(d_rich.mean, d_poor.mean);
+}
+
+TEST(DeviationTest, ReproductionErrorNonNegativeAndOrdered) {
+  Pcg32 rng(91);
+  std::vector<FeatureVec> vecs;
+  std::vector<double> probs;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 5; ++f) {
+      if (rng.NextBernoulli(0.5)) ids.push_back(f);
+    }
+    vecs.push_back(FeatureVec(std::move(ids)));
+    probs.push_back(1.0);
+  }
+  ProjectedLog log(vecs, probs, 5);
+  ProjectedEncoding small = ProjectedEncoding::Measure(log, {FeatureVec({0})});
+  ProjectedEncoding large = ProjectedEncoding::Measure(
+      log, {FeatureVec({0}), FeatureVec({1, 2})});
+  double e_small = ReproductionError(log, small);
+  double e_large = ReproductionError(log, large);
+  EXPECT_GE(e_small, -1e-9);
+  EXPECT_GE(e_large, -1e-9);
+  EXPECT_LE(e_large, e_small + 1e-9);  // Lemma 1 direction
+}
+
+TEST(AmbiguityTest, DimensionShrinksWithMoreConstraints) {
+  ProjectedEncoding e1;
+  e1.patterns = {FeatureVec({0})};
+  e1.marginals = {0.5};
+  ProjectedEncoding e2;
+  e2.patterns = {FeatureVec({0}), FeatureVec({1})};
+  e2.marginals = {0.5, 0.5};
+  // Lemma 2 proxy: the feasible polytope can only lose dimensions as
+  // constraints are added.
+  EXPECT_GE(AmbiguityDimension(e1, 4), AmbiguityDimension(e2, 4));
+}
+
+}  // namespace
+}  // namespace logr

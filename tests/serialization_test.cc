@@ -1,0 +1,144 @@
+#include <sstream>
+
+#include "core/logr_compressor.h"
+#include "core/serialization.h"
+#include "gtest/gtest.h"
+#include "util/prng.h"
+
+namespace logr {
+namespace {
+
+QueryLog MakeLog() {
+  QueryLog log;
+  log.mutable_vocabulary()->Intern({FeatureClause::kSelect, "id"});
+  log.mutable_vocabulary()->Intern({FeatureClause::kSelect, "sms_type"});
+  log.mutable_vocabulary()->Intern({FeatureClause::kFrom, "messages"});
+  log.mutable_vocabulary()->Intern({FeatureClause::kWhere, "status = ?"});
+  log.Add(FeatureVec({0, 2, 3}), 7);
+  log.Add(FeatureVec({0, 2}), 3);
+  log.Add(FeatureVec({1, 2}), 5);
+  return log;
+}
+
+TEST(SerializationTest, RoundTripPreservesEstimates) {
+  QueryLog log = MakeLog();
+  LogROptions opts;
+  opts.num_clusters = 2;
+  LogRSummary summary = Compress(log, opts);
+
+  std::stringstream buffer;
+  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
+  PersistedSummary loaded;
+  std::string error;
+  ASSERT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
+
+  EXPECT_EQ(loaded.encoding.NumComponents(),
+            summary.encoding.NumComponents());
+  EXPECT_EQ(loaded.encoding.TotalVerbosity(),
+            summary.encoding.TotalVerbosity());
+  EXPECT_NEAR(loaded.encoding.Error(), summary.encoding.Error(), 1e-9);
+  EXPECT_EQ(loaded.encoding.LogSize(), summary.encoding.LogSize());
+  EXPECT_EQ(loaded.vocabulary.size(), log.vocabulary().size());
+
+  // Every pattern estimate must be identical after the round trip.
+  Pcg32 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 4; ++f) {
+      if (rng.NextBernoulli(0.5)) ids.push_back(f);
+    }
+    FeatureVec pattern(std::move(ids));
+    EXPECT_NEAR(loaded.encoding.EstimateCount(pattern),
+                summary.encoding.EstimateCount(pattern), 1e-9);
+    EXPECT_NEAR(loaded.encoding.EstimateMarginal(pattern),
+                summary.encoding.EstimateMarginal(pattern), 1e-12);
+  }
+}
+
+TEST(SerializationTest, FeatureTextWithSpacesSurvives) {
+  QueryLog log = MakeLog();
+  LogRSummary summary = Compress(log, LogROptions());
+  std::stringstream buffer;
+  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
+  PersistedSummary loaded;
+  std::string error;
+  ASSERT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
+  Feature f{FeatureClause::kWhere, "status = ?"};
+  EXPECT_NE(loaded.vocabulary.Find(f), Vocabulary::kNotFound);
+}
+
+TEST(SerializationTest, RejectsBadHeader) {
+  std::stringstream buffer("not-a-summary\n");
+  PersistedSummary loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSummary(&buffer, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SerializationTest, RejectsTruncatedInput) {
+  QueryLog log = MakeLog();
+  LogRSummary summary = Compress(log, LogROptions());
+  std::stringstream buffer;
+  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
+  std::string text = buffer.str();
+  for (std::size_t cut : {text.size() / 4, text.size() / 2}) {
+    std::stringstream truncated(text.substr(0, cut));
+    PersistedSummary loaded;
+    std::string error;
+    EXPECT_FALSE(ReadSummary(&truncated, &loaded, &error)) << cut;
+  }
+}
+
+TEST(SerializationTest, RejectsOutOfRangeMarginal) {
+  std::stringstream buffer(
+      "logr-summary v1\n"
+      "features 1\n"
+      "f 0 a\n"
+      "clusters 1\n"
+      "cluster 1.0 10 0.0 1\n"
+      "m 0 1.5\n");
+  PersistedSummary loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSummary(&buffer, &loaded, &error));
+}
+
+TEST(SerializationTest, RejectsUnknownFeatureReference) {
+  std::stringstream buffer(
+      "logr-summary v1\n"
+      "features 1\n"
+      "f 0 a\n"
+      "clusters 1\n"
+      "cluster 1.0 10 0.0 1\n"
+      "m 7 0.5\n");
+  PersistedSummary loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSummary(&buffer, &loaded, &error));
+}
+
+TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
+  QueryLog log = MakeLog();
+  LogRSummary summary = Compress(log, LogROptions());
+  std::stringstream buffer;
+  buffer << "# produced by test\n";
+  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
+  PersistedSummary loaded;
+  std::string error;
+  EXPECT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  QueryLog log = MakeLog();
+  LogRSummary summary = Compress(log, LogROptions());
+  std::string path = "/tmp/logr_serialization_test.logr";
+  std::string error;
+  ASSERT_TRUE(
+      WriteSummaryFile(path, log.vocabulary(), summary.encoding, &error))
+      << error;
+  PersistedSummary loaded;
+  ASSERT_TRUE(ReadSummaryFile(path, &loaded, &error)) << error;
+  EXPECT_NEAR(loaded.encoding.Error(), summary.encoding.Error(), 1e-9);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace logr

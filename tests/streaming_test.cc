@@ -1,0 +1,159 @@
+#include <cmath>
+
+#include "core/logr_compressor.h"
+#include "core/streaming.h"
+#include "data/pocketdata.h"
+#include "data/sql_log.h"
+#include "gtest/gtest.h"
+#include "util/prng.h"
+
+namespace logr {
+namespace {
+
+TEST(StreamingTest, SingleClusterMatchesBatchNaive) {
+  StreamingOptions opts;
+  opts.max_clusters = 1;
+  StreamingCompressor stream(opts);
+  QueryLog log;
+  log.Add(FeatureVec({0, 2, 3}), 7);
+  log.Add(FeatureVec({0, 2}), 3);
+  log.Add(FeatureVec({1, 2}), 5);
+  for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
+    stream.Add(log.Vector(i), log.Multiplicity(i));
+  }
+  NaiveMixtureEncoding batch =
+      NaiveMixtureEncoding::FromPartition(log, {0, 0, 0}, 1);
+  EXPECT_EQ(stream.NumComponents(), 1u);
+  EXPECT_NEAR(stream.Error(), batch.Error(), 1e-9);
+  NaiveMixtureEncoding snap = stream.Snapshot();
+  EXPECT_NEAR(snap.EstimateCount(FeatureVec({0, 3})),
+              batch.EstimateCount(FeatureVec({0, 3})), 1e-9);
+}
+
+TEST(StreamingTest, SplitsSeparateDisjointWorkloads) {
+  StreamingOptions opts;
+  opts.max_clusters = 4;
+  opts.split_threshold = 0.2;
+  opts.split_check_interval = 64;
+  StreamingCompressor stream(opts);
+  Pcg32 rng(3);
+  // Two disjoint workloads interleaved.
+  for (int i = 0; i < 3000; ++i) {
+    bool group = rng.NextBernoulli(0.5);
+    std::vector<FeatureId> ids;
+    FeatureId base = group ? 0 : 10;
+    ids.push_back(base);
+    for (FeatureId f = 1; f < 5; ++f) {
+      if (rng.NextBernoulli(0.5)) ids.push_back(base + f);
+    }
+    stream.Add(FeatureVec(std::move(ids)));
+  }
+  EXPECT_GE(stream.NumComponents(), 2u);
+  // No component should mix the two disjoint feature ranges heavily: the
+  // snapshot's error should beat the single-cluster alternative.
+  StreamingOptions one;
+  one.max_clusters = 1;
+  StreamingCompressor single(one);
+  Pcg32 rng2(3);
+  for (int i = 0; i < 3000; ++i) {
+    bool group = rng2.NextBernoulli(0.5);
+    std::vector<FeatureId> ids;
+    FeatureId base = group ? 0 : 10;
+    ids.push_back(base);
+    for (FeatureId f = 1; f < 5; ++f) {
+      if (rng2.NextBernoulli(0.5)) ids.push_back(base + f);
+    }
+    single.Add(FeatureVec(std::move(ids)));
+  }
+  EXPECT_LT(stream.Error(), single.Error());
+}
+
+TEST(StreamingTest, TotalsAndWeightsConsistent) {
+  StreamingCompressor stream;
+  Pcg32 rng(7);
+  std::uint64_t expected_total = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 8; ++f) {
+      if (rng.NextBernoulli(0.4)) ids.push_back(f);
+    }
+    std::uint64_t count = 1 + rng.NextBounded(9);
+    stream.Add(FeatureVec(std::move(ids)), count);
+    expected_total += count;
+  }
+  EXPECT_EQ(stream.TotalQueries(), expected_total);
+  NaiveMixtureEncoding snap = stream.Snapshot();
+  double weight_sum = 0.0;
+  for (std::size_t c = 0; c < snap.NumComponents(); ++c) {
+    weight_sum += snap.Component(c).weight;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+  EXPECT_EQ(snap.LogSize(), expected_total);
+}
+
+TEST(StreamingTest, SingleFeatureEstimatesExact) {
+  // Naive encodings store feature marginals exactly regardless of the
+  // routing, so single-feature counts from the snapshot are exact.
+  StreamingCompressor stream;
+  Pcg32 rng(11);
+  std::vector<std::uint64_t> truth(12, 0);
+  for (int i = 0; i < 800; ++i) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 12; ++f) {
+      if (rng.NextBernoulli(0.3)) ids.push_back(f);
+    }
+    for (FeatureId f : ids) truth[f] += 1;
+    stream.Add(FeatureVec(std::move(ids)));
+  }
+  NaiveMixtureEncoding snap = stream.Snapshot();
+  for (FeatureId f = 0; f < 12; ++f) {
+    EXPECT_NEAR(snap.EstimateCount(FeatureVec({f})),
+                static_cast<double>(truth[f]), 1e-6)
+        << "feature " << f;
+  }
+}
+
+TEST(StreamingTest, ComparableToBatchCompressionOnRealWorkload) {
+  PocketDataOptions gen;
+  gen.num_distinct = 150;
+  gen.total_queries = 50000;
+  QueryLog log = LoadEntries(GeneratePocketDataLog(gen)).TakeLog();
+
+  StreamingOptions opts;
+  opts.max_clusters = 12;
+  opts.split_threshold = 0.5;
+  opts.split_check_interval = 512;
+  StreamingCompressor stream(opts);
+  for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
+    stream.Add(log.Vector(i), log.Multiplicity(i));
+  }
+
+  LogROptions batch_opts;
+  batch_opts.num_clusters = 12;
+  double batch_error = Compress(log, batch_opts).encoding.Error();
+  // Streaming routing is greedy; allow slack but require the same league.
+  EXPECT_LT(stream.Error(), batch_error * 1.8 + 1.0);
+  // And it must beat no clustering at all.
+  batch_opts.num_clusters = 1;
+  EXPECT_LT(stream.Error(), Compress(log, batch_opts).encoding.Error());
+}
+
+TEST(StreamingTest, RespectsMaxClusters) {
+  StreamingOptions opts;
+  opts.max_clusters = 3;
+  opts.split_threshold = 0.0001;
+  opts.split_check_interval = 16;
+  StreamingCompressor stream(opts);
+  Pcg32 rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 10; ++f) {
+      if (rng.NextBernoulli(0.5)) ids.push_back(f);
+    }
+    stream.Add(FeatureVec(std::move(ids)));
+  }
+  EXPECT_LE(stream.NumComponents(), 3u);
+}
+
+}  // namespace
+}  // namespace logr

@@ -1,0 +1,277 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "maxent/entropy.h"
+#include "summarize/errors.h"
+#include "summarize/laserlight.h"
+#include "summarize/mixture_baselines.h"
+#include "summarize/mtv.h"
+#include "util/prng.h"
+
+namespace logr {
+namespace {
+
+// Rows where feature 0 fully determines the label, plus distractors.
+struct LabeledData {
+  std::vector<FeatureVec> rows;
+  std::vector<double> labels;
+};
+
+LabeledData MakeDeterminedData(std::size_t n_rows, Pcg32* rng) {
+  LabeledData d;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    std::vector<FeatureId> ids;
+    bool positive = rng->NextBernoulli(0.4);
+    if (positive) ids.push_back(0);
+    for (FeatureId f = 1; f < 8; ++f) {
+      if (rng->NextBernoulli(0.5)) ids.push_back(f);
+    }
+    d.rows.push_back(FeatureVec(std::move(ids)));
+    d.labels.push_back(positive ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+TEST(ErrorsTest, LaserlightErrorZeroForPerfectPredictions) {
+  std::vector<double> labels = {1.0, 0.0, 1.0};
+  EXPECT_NEAR(LaserlightError(labels, labels, {}), 0.0, 1e-6);
+}
+
+TEST(ErrorsTest, LaserlightErrorOfNaiveClosedForm) {
+  // -|D| (u ln u + (1-u) ln (1-u)) with u = 0.25, |D| = 100.
+  double expected = 100 * BinaryEntropy(0.25);
+  EXPECT_NEAR(LaserlightErrorOfNaive(100, 0.25), expected, 1e-12);
+  // Closed form equals the generic formula with constant prediction u.
+  Pcg32 rng(3);
+  std::vector<double> labels, preds;
+  for (int i = 0; i < 100; ++i) {
+    labels.push_back(i < 25 ? 1.0 : 0.0);
+    preds.push_back(0.25);
+  }
+  EXPECT_NEAR(LaserlightError(labels, preds, {}), expected, 1e-9);
+}
+
+TEST(ErrorsTest, MtvErrorPenalizesVerbosity) {
+  double e0 = MtvError(1000, 2.0, 0);
+  double e5 = MtvError(1000, 2.0, 5);
+  EXPECT_GT(e5, e0);
+  EXPECT_NEAR(e5 - e0, 0.5 * 5 * std::log(1000.0), 1e-9);
+}
+
+TEST(LaserlightTest, FindsDeterminingPattern) {
+  Pcg32 rng(5);
+  LabeledData d = MakeDeterminedData(300, &rng);
+  LaserlightOptions opts;
+  opts.max_patterns = 8;
+  opts.seed = 11;
+  LaserlightSummary s = RunLaserlight(d.rows, d.labels, {}, opts);
+  // Initial error is the naive entropy bound; final should be far lower.
+  ASSERT_GE(s.error_trajectory.size(), 2u);
+  EXPECT_LT(s.error, 0.35 * s.error_trajectory.front());
+}
+
+TEST(LaserlightTest, ErrorTrajectoryMonotoneNonIncreasing) {
+  Pcg32 rng(7);
+  LabeledData d = MakeDeterminedData(200, &rng);
+  LaserlightOptions opts;
+  opts.max_patterns = 6;
+  LaserlightSummary s = RunLaserlight(d.rows, d.labels, {}, opts);
+  for (std::size_t i = 1; i < s.error_trajectory.size(); ++i) {
+    EXPECT_LE(s.error_trajectory[i], s.error_trajectory[i - 1] + 1e-6);
+  }
+}
+
+TEST(LaserlightTest, ZeroPatternsEqualsNaiveClosedForm) {
+  Pcg32 rng(9);
+  LabeledData d = MakeDeterminedData(150, &rng);
+  LaserlightOptions opts;
+  opts.max_patterns = 0;
+  LaserlightSummary s = RunLaserlight(d.rows, d.labels, {}, opts);
+  double positives = 0.0;
+  for (double v : d.labels) positives += v;
+  double u = positives / d.labels.size();
+  EXPECT_NEAR(s.error, LaserlightErrorOfNaive(d.labels.size(), u), 1e-6);
+}
+
+TEST(LaserlightTest, PredictionsMatchPatternAggregates) {
+  Pcg32 rng(13);
+  LabeledData d = MakeDeterminedData(200, &rng);
+  LaserlightOptions opts;
+  opts.max_patterns = 5;
+  LaserlightSummary s = RunLaserlight(d.rows, d.labels, {}, opts);
+  // Max-ent fit: each mined pattern's predicted mass equals observed.
+  for (std::size_t p = 0; p < s.patterns.size(); ++p) {
+    double pred_mass = 0.0, true_mass = 0.0, w = 0.0;
+    for (std::size_t r = 0; r < d.rows.size(); ++r) {
+      if (d.rows[r].ContainsAll(s.patterns[p])) {
+        pred_mass += s.predictions[r];
+        true_mass += d.labels[r];
+        w += 1.0;
+      }
+    }
+    ASSERT_GT(w, 0.0);
+    EXPECT_NEAR(pred_mass, true_mass, 1e-4 * w + 1e-6);
+  }
+}
+
+TEST(LaserlightTest, FeatureCapRestrictsPatterns) {
+  Pcg32 rng(15);
+  LabeledData d = MakeDeterminedData(150, &rng);
+  LaserlightOptions opts;
+  opts.max_patterns = 4;
+  opts.feature_cap = 3;
+  LaserlightSummary s = RunLaserlight(d.rows, d.labels, {}, opts);
+  // All mined patterns live inside some 3-feature universe.
+  std::set<FeatureId> used;
+  for (const auto& p : s.patterns) {
+    for (FeatureId f : p.ids) used.insert(f);
+  }
+  EXPECT_LE(used.size(), 3u);
+}
+
+TEST(MtvTest, RejectsOverCeiling) {
+  MtvSummary s = RunMtv({FeatureVec({0})}, {}, 2, 16, {});
+  EXPECT_FALSE(s.error_message.empty());
+  EXPECT_TRUE(s.itemsets.empty());
+}
+
+TEST(MtvTest, FindsCorrelatedItemset) {
+  Pcg32 rng(17);
+  std::vector<FeatureVec> rows;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<FeatureId> ids;
+    // Features 0,1 co-occur half the time; 2..5 independent.
+    if (rng.NextBernoulli(0.5)) {
+      ids.push_back(0);
+      ids.push_back(1);
+    }
+    for (FeatureId f = 2; f < 6; ++f) {
+      if (rng.NextBernoulli(0.3)) ids.push_back(f);
+    }
+    rows.push_back(FeatureVec(std::move(ids)));
+  }
+  MtvOptions opts;
+  MtvSummary s = RunMtv(rows, {}, 6, 3, opts);
+  ASSERT_FALSE(s.itemsets.empty());
+  EXPECT_EQ(s.itemsets[0], FeatureVec({0, 1}));
+}
+
+TEST(MtvTest, BicTrajectoryRecordsEachStep) {
+  Pcg32 rng(19);
+  std::vector<FeatureVec> rows;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 6; ++f) {
+      if (rng.NextBernoulli(0.4)) ids.push_back(f);
+    }
+    rows.push_back(FeatureVec(std::move(ids)));
+  }
+  MtvSummary s = RunMtv(rows, {}, 6, 4, {});
+  EXPECT_EQ(s.bic_trajectory.size(), s.itemsets.size() + 1);
+}
+
+TEST(MtvTest, ModelEntropyDecreasesWithItemsets) {
+  Pcg32 rng(21);
+  std::vector<FeatureVec> rows;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<FeatureId> ids;
+    if (rng.NextBernoulli(0.6)) {
+      ids.push_back(0);
+      ids.push_back(1);
+      if (rng.NextBernoulli(0.7)) ids.push_back(2);
+    }
+    for (FeatureId f = 3; f < 7; ++f) {
+      if (rng.NextBernoulli(0.25)) ids.push_back(f);
+    }
+    rows.push_back(FeatureVec(std::move(ids)));
+  }
+  MtvSummary s0 = RunMtv(rows, {}, 7, 0, {});
+  MtvSummary s3 = RunMtv(rows, {}, 7, 3, {});
+  EXPECT_LE(s3.model_entropy, s0.model_entropy + 1e-9);
+}
+
+PartitionedData MakePartitioned(Pcg32* rng, std::size_t clusters) {
+  PartitionedData d;
+  d.n_features = 6 * clusters;
+  d.num_clusters = clusters;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      std::vector<FeatureId> ids;
+      bool positive = rng->NextBernoulli(0.5);
+      if (positive) ids.push_back(static_cast<FeatureId>(6 * c));
+      for (int f = 1; f < 6; ++f) {
+        if (rng->NextBernoulli(0.4)) {
+          ids.push_back(static_cast<FeatureId>(6 * c + f));
+        }
+      }
+      d.rows.push_back(FeatureVec(std::move(ids)));
+      d.labels.push_back(positive ? 1.0 : 0.0);
+      d.assignment.push_back(static_cast<int>(c));
+    }
+  }
+  return d;
+}
+
+TEST(MixtureBaselinesTest, FixedBudgetsSumToTotal) {
+  Pcg32 rng(23);
+  PartitionedData d = MakePartitioned(&rng, 4);
+  std::vector<std::size_t> budgets = FixedBudgets(d, 20);
+  std::size_t total = 0;
+  for (std::size_t b : budgets) total += b;
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(MixtureBaselinesTest, ScaledBudgetsMatchNaiveVerbosity) {
+  Pcg32 rng(25);
+  PartitionedData d = MakePartitioned(&rng, 3);
+  std::vector<std::size_t> budgets = NaiveVerbosityBudgets(d);
+  ASSERT_EQ(budgets.size(), 3u);
+  for (std::size_t b : budgets) {
+    EXPECT_GT(b, 0u);
+    EXPECT_LE(b, 6u);
+  }
+}
+
+TEST(MixtureBaselinesTest, PartitioningImprovesLaserlightError) {
+  // Paper Sec. 8.1.3 take-away: clustering improves the baseline's error
+  // under a fixed total budget.
+  Pcg32 rng(27);
+  PartitionedData d = MakePartitioned(&rng, 4);
+  LaserlightOptions opts;
+  opts.sample_size = 12;
+
+  PartitionedData single = d;
+  single.assignment.assign(d.rows.size(), 0);
+  single.num_clusters = 1;
+  MixtureRunResult classical =
+      LaserlightMixture(single, FixedBudgets(single, 8), opts);
+  MixtureRunResult mixture = LaserlightMixture(d, FixedBudgets(d, 8), opts);
+  EXPECT_LE(mixture.total_error, classical.total_error * 1.05);
+}
+
+TEST(MixtureBaselinesTest, NaiveReferenceErrorsComputable) {
+  Pcg32 rng(29);
+  PartitionedData d = MakePartitioned(&rng, 2);
+  EXPECT_GT(NaiveLaserlightError(d), 0.0);
+  EXPECT_GT(NaiveMtvError(d), 0.0);
+  // More clusters -> no larger naive Laserlight error (finer partitions
+  // can only sharpen per-cluster rates).
+  PartitionedData single = d;
+  single.assignment.assign(d.rows.size(), 0);
+  single.num_clusters = 1;
+  EXPECT_LE(NaiveLaserlightError(d), NaiveLaserlightError(single) + 1e-9);
+}
+
+TEST(MixtureBaselinesTest, MtvMixtureRunsWithinCeiling) {
+  Pcg32 rng(31);
+  PartitionedData d = MakePartitioned(&rng, 2);
+  MtvOptions opts;
+  std::vector<std::size_t> budgets = {20, 20};  // clamped to 15 internally
+  MixtureRunResult r = MtvMixture(d, budgets, opts);
+  for (std::size_t p : r.cluster_patterns) {
+    EXPECT_LE(p, opts.max_patterns);
+  }
+}
+
+}  // namespace
+}  // namespace logr

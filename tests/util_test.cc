@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/prng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace logr {
+namespace {
+
+TEST(Pcg32Test, DeterministicAcrossInstances) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32Test, NextBoundedInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32Test, NextDoubleMeanNearHalf) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, GaussianMoments) {
+  Pcg32 rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Pcg32Test, BernoulliRate) {
+  Pcg32 rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Pcg32Test, DiscreteRespectsWeights) {
+  Pcg32 rng(17);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextDiscrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Pcg32Test, ShufflePreservesElements) {
+  Pcg32 rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler z(100, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) total += z.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesDecrease) {
+  ZipfSampler z(50, 1.2);
+  for (std::size_t r = 1; r < 50; ++r) {
+    EXPECT_LT(z.Probability(r), z.Probability(r - 1));
+  }
+}
+
+TEST(ZipfSamplerTest, SampleMatchesProbability) {
+  ZipfSampler z(10, 1.0);
+  Pcg32 rng(21);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.Probability(r), 0.01);
+  }
+}
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt * FROM t"), "select * from t");
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_TRUE(StartsWithIgnoreCase("SELECT x", "sel"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(TablePrinterTest, FormatsAlignedColumns) {
+  TablePrinter t({"col_a", "b"});
+  t.AddRow({"1", "long_value"});
+  t.AddRow({"2222222", "x"});
+  // Just exercise Print to a memstream-like file.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  t.Print(f);
+  std::fseek(f, 0, SEEK_SET);
+  char buf[256] = {0};
+  std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::string out(buf, n);
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("long_value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logr

@@ -1,0 +1,99 @@
+#include "core/logr_compressor.h"
+#include "core/visualize.h"
+#include "gtest/gtest.h"
+
+namespace logr {
+namespace {
+
+QueryLog MakeLog() {
+  QueryLog log;
+  log.mutable_vocabulary()->Intern({FeatureClause::kSelect, "id"});
+  log.mutable_vocabulary()->Intern({FeatureClause::kSelect, "sms_type"});
+  log.mutable_vocabulary()->Intern({FeatureClause::kFrom, "messages"});
+  log.mutable_vocabulary()->Intern({FeatureClause::kWhere, "status = ?"});
+  log.Add(FeatureVec({0, 2, 3}), 50);
+  log.Add(FeatureVec({0, 2}), 50);
+  log.Add(FeatureVec({1, 2}), 10);
+  return log;
+}
+
+TEST(VisualizeTest, GlyphThresholds) {
+  VisualizeOptions opts;
+  EXPECT_EQ(MarginalGlyph(1.0, opts), '#');
+  EXPECT_EQ(MarginalGlyph(0.96, opts), '#');
+  EXPECT_EQ(MarginalGlyph(0.6, opts), '+');
+  EXPECT_EQ(MarginalGlyph(0.2, opts), '.');
+}
+
+TEST(VisualizeTest, RenderContainsClausesAndFeatures) {
+  QueryLog log = MakeLog();
+  NaiveMixtureEncoding mix =
+      NaiveMixtureEncoding::FromPartition(log, {0, 0, 0}, 1);
+  std::string out = RenderCluster(log.vocabulary(), mix.Component(0));
+  EXPECT_NE(out.find("SELECT"), std::string::npos);
+  EXPECT_NE(out.find("FROM"), std::string::npos);
+  EXPECT_NE(out.find("WHERE"), std::string::npos);
+  EXPECT_NE(out.find("messages"), std::string::npos);
+  EXPECT_NE(out.find("# messages"), std::string::npos);  // marginal 1.0
+  EXPECT_NE(out.find("status = ?"), std::string::npos);
+}
+
+TEST(VisualizeTest, OmitsLowMarginalFeatures) {
+  QueryLog log = MakeLog();
+  NaiveMixtureEncoding mix =
+      NaiveMixtureEncoding::FromPartition(log, {0, 0, 0}, 1);
+  VisualizeOptions opts;
+  opts.min_marginal = 0.5;
+  std::string out = RenderCluster(log.vocabulary(), mix.Component(0), opts);
+  // sms_type has marginal 10/110 < 0.5 -> omitted.
+  EXPECT_EQ(out.find("sms_type"), std::string::npos);
+}
+
+TEST(VisualizeTest, DiffuseClusterGetsSubclusterNote) {
+  QueryLog log;
+  // Every feature rare: all marginals below the default 0.15 floor.
+  for (FeatureId f = 0; f < 20; ++f) {
+    log.Add(FeatureVec({f}), 1);
+  }
+  NaiveMixtureEncoding mix = NaiveMixtureEncoding::FromPartition(
+      log, std::vector<int>(20, 0), 1);
+  // No vocabulary entries exist; construct one matching ids.
+  Vocabulary vocab;
+  for (FeatureId f = 0; f < 20; ++f) {
+    vocab.Intern({FeatureClause::kSelect, "col" + std::to_string(f)});
+  }
+  std::string out = RenderCluster(vocab, mix.Component(0));
+  EXPECT_NE(out.find("sub-clustering"), std::string::npos);
+}
+
+TEST(VisualizeTest, MixtureOrderedByWeight) {
+  QueryLog log = MakeLog();
+  NaiveMixtureEncoding mix =
+      NaiveMixtureEncoding::FromPartition(log, {0, 0, 1}, 2);
+  std::string out = RenderMixture(log.vocabulary(), mix);
+  std::size_t first = out.find("weight 90.9%");
+  std::size_t second = out.find("weight 9.1%");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+}
+
+TEST(VisualizeTest, MaxPerClauseTruncates) {
+  QueryLog log;
+  Vocabulary* vocab = log.mutable_vocabulary();
+  std::vector<FeatureId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(vocab->Intern(
+        {FeatureClause::kSelect, "col" + std::to_string(i)}));
+  }
+  log.Add(FeatureVec(ids), 10);
+  NaiveMixtureEncoding mix =
+      NaiveMixtureEncoding::FromPartition(log, {0}, 1);
+  VisualizeOptions opts;
+  opts.max_per_clause = 4;
+  std::string out = RenderCluster(log.vocabulary(), mix.Component(0), opts);
+  EXPECT_NE(out.find("... 8 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logr
