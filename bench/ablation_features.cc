@@ -30,6 +30,8 @@ int main() {
     QueryLog log = loader.TakeLog();
     for (std::size_t k : {1u, 8u, 16u, 30u}) {
       LogROptions opts;
+      opts.method =
+          EnvMethod("LOGR_METHOD", ClusteringMethod::kKMeansEuclidean);
       opts.num_clusters = k;
       opts.seed = 31;
       LogRSummary s = Compress(log, opts);

@@ -11,6 +11,20 @@ std::size_t EnvSize(const char* name, std::size_t fallback) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
+ClusteringMethod EnvMethod(const char* name, ClusteringMethod fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  ClusteringMethod m;
+  if (!ParseClusteringMethod(v, &m)) {
+    std::fprintf(stderr,
+                 "%s=%s is not a clustering method (try kmeans, manhattan, "
+                 "minkowski, hamming, hierarchical)\n",
+                 name, v);
+    std::exit(2);
+  }
+  return m;
+}
+
 void Banner(const std::string& artifact, const std::string& description) {
   std::printf("=== %s ===\n%s\n\n", artifact.c_str(), description.c_str());
 }

@@ -7,6 +7,8 @@
 //   LOGR_SAMPLES     Monte-Carlo samples (paper: 10^4..10^6)
 //   LOGR_BANK_SCALE  multiplies the bank log's template count
 //   LOGR_ROWS        rows for the Income dataset
+//   LOGR_METHOD      clustering method for single-method benches
+//                    (ParseClusteringMethod names, e.g. "hierarchical")
 #ifndef LOGR_BENCH_BENCH_COMMON_H_
 #define LOGR_BENCH_BENCH_COMMON_H_
 
@@ -14,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.h"
 #include "data/bank.h"
 #include "data/income.h"
 #include "data/mushroom.h"
@@ -25,6 +28,10 @@ namespace logr::bench {
 
 /// Reads a positive integer environment override, or `fallback`.
 std::size_t EnvSize(const char* name, std::size_t fallback);
+
+/// Reads a clustering method from the environment (ParseClusteringMethod
+/// names), or `fallback`. Unknown names abort with the valid names listed.
+ClusteringMethod EnvMethod(const char* name, ClusteringMethod fallback);
 
 /// Prints the bench banner with the paper artifact it reproduces.
 void Banner(const std::string& artifact, const std::string& description);

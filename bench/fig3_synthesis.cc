@@ -35,7 +35,8 @@ int main() {
   for (Dataset& d : datasets) {
     for (std::size_t k : ks) {
       LogROptions opts;
-      opts.method = ClusteringMethod::kKMeansEuclidean;
+      opts.method =
+          EnvMethod("LOGR_METHOD", ClusteringMethod::kKMeansEuclidean);
       opts.num_clusters = k;
       opts.seed = 99;
       LogRSummary s = Compress(d.log, opts);

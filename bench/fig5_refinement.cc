@@ -71,7 +71,8 @@ int main() {
 
   for (std::size_t k : ks) {
     LogROptions opts;
-    opts.method = ClusteringMethod::kKMeansEuclidean;
+    opts.method =
+        EnvMethod("LOGR_METHOD", ClusteringMethod::kKMeansEuclidean);
     opts.num_clusters = k;
     opts.seed = 7;
     Stopwatch naive_timer;

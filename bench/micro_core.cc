@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "cluster/distance.h"
 #include "core/logr_compressor.h"
 #include "core/mixture.h"
 #include "core/streaming.h"
@@ -81,6 +82,54 @@ void BM_TrueCountScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrueCountScan);
+
+struct DistanceInput {
+  std::vector<FeatureVec> vecs;
+  std::size_t num_features = 0;
+};
+
+const DistanceInput& BankVectorsSingleton() {
+  // 1,712 distinct templates: big enough that the pairwise distance
+  // matrix (~2.9M entries) shows the thread-pool speedup.
+  static const DistanceInput* kInput = [] {
+    QueryLog log = LoadBankLog();
+    auto* in = new DistanceInput();
+    in->num_features = log.NumFeatures();
+    in->vecs.reserve(log.NumDistinct());
+    for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
+      in->vecs.push_back(log.Vector(i));
+    }
+    return in;
+  }();
+  return *kInput;
+}
+
+void BM_DistanceMatrixSerial(benchmark::State& state) {
+  const DistanceInput& in = BankVectorsSingleton();
+  DistanceSpec spec;
+  spec.metric = Metric::kHamming;
+  for (auto _ : state) {
+    Matrix d = DistanceMatrix(in.vecs, in.num_features, spec,
+                              /*pool=*/nullptr);
+    benchmark::DoNotOptimize(d(0, 1));
+  }
+  state.counters["vectors"] = static_cast<double>(in.vecs.size());
+}
+BENCHMARK(BM_DistanceMatrixSerial)->Unit(benchmark::kMillisecond);
+
+void BM_DistanceMatrixParallel(benchmark::State& state) {
+  const DistanceInput& in = BankVectorsSingleton();
+  DistanceSpec spec;
+  spec.metric = Metric::kHamming;
+  ThreadPool* pool = ThreadPool::Shared();
+  for (auto _ : state) {
+    Matrix d = DistanceMatrix(in.vecs, in.num_features, spec, pool);
+    benchmark::DoNotOptimize(d(0, 1));
+  }
+  state.counters["vectors"] = static_cast<double>(in.vecs.size());
+  state.counters["threads"] = static_cast<double>(pool->NumThreads());
+}
+BENCHMARK(BM_DistanceMatrixParallel)->Unit(benchmark::kMillisecond);
 
 void BM_KMeansCompress(benchmark::State& state) {
   const QueryLog& log = PocketLogSingleton();

@@ -1,9 +1,11 @@
 // logr_cli — command-line front end for the LogR library.
 //
-//   logr_cli compress [--clusters K] [--method NAME] [--out FILE] [LOG]
+//   logr_cli compress [--clusters K] [--method NAME] [--refine N]
+//                     [--out FILE] [LOG]
 //       Reads SQL statements (one per line; an optional "COUNT<TAB>"
 //       prefix gives a multiplicity) from LOG or stdin, compresses them,
-//       and writes a summary file.
+//       and writes a summary file. --refine N reports the Error after
+//       refining each cluster with up to N extra patterns (Sec. 6.4).
 //   logr_cli info SUMMARY
 //       Prints the summary's clusters, weights and verbosities.
 //   logr_cli estimate SUMMARY CLAUSE:TEXT [CLAUSE:TEXT ...]
@@ -15,8 +17,9 @@
 //       Compresses a built-in synthetic workload end to end.
 //
 // Methods: kmeans (default), manhattan, minkowski, hamming, hierarchical,
-// adaptive.
+// adaptive, or any backend name registered in ClustererRegistry.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -38,12 +41,22 @@ using namespace logr;
 int Usage() {
   std::fprintf(stderr,
                "usage: logr_cli compress [--clusters K] [--method NAME] "
-               "[--out FILE] [LOG]\n"
+               "[--refine N] [--out FILE] [LOG]\n"
                "       logr_cli info SUMMARY\n"
                "       logr_cli estimate SUMMARY CLAUSE:TEXT...\n"
                "       logr_cli visualize SUMMARY\n"
                "       logr_cli demo\n");
   return 2;
+}
+
+// Strict non-negative integer parse: rejects trailing garbage ("8x")
+// and non-numbers ("five"), which atoll would silently read as 0.
+bool ParseCount(const char* text, long long min_value, long long* out) {
+  char* end = nullptr;
+  long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || parsed < min_value) return false;
+  *out = parsed;
+  return true;
 }
 
 bool ParseClause(const std::string& label, FeatureClause* clause) {
@@ -59,15 +72,28 @@ bool ParseClause(const std::string& label, FeatureClause* clause) {
 
 int RunCompress(int argc, char** argv) {
   std::size_t clusters = 8;
+  std::size_t refine = 0;
   std::string method = "kmeans";
   std::string out_path = "summary.logr";
   std::string in_path;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--clusters" && i + 1 < argc) {
-      clusters = static_cast<std::size_t>(std::atoll(argv[++i]));
+      long long parsed;
+      if (!ParseCount(argv[++i], 1, &parsed)) {
+        std::fprintf(stderr, "--clusters must be an integer >= 1\n");
+        return 2;
+      }
+      clusters = static_cast<std::size_t>(parsed);
     } else if (arg == "--method" && i + 1 < argc) {
       method = argv[++i];
+    } else if (arg == "--refine" && i + 1 < argc) {
+      long long parsed;
+      if (!ParseCount(argv[++i], 0, &parsed)) {
+        std::fprintf(stderr, "--refine must be an integer >= 0\n");
+        return 2;
+      }
+      refine = static_cast<std::size_t>(parsed);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
@@ -121,23 +147,23 @@ int RunCompress(int argc, char** argv) {
   QueryLog log = loader.TakeLog();
   LogROptions opts;
   opts.num_clusters = clusters;
+  opts.refine_patterns = refine;
   LogRSummary summary;
   if (method == "adaptive") {
     summary = CompressAdaptive(log, clusters, opts);
   } else {
-    if (method == "kmeans") {
-      opts.method = ClusteringMethod::kKMeansEuclidean;
-    } else if (method == "manhattan") {
-      opts.method = ClusteringMethod::kSpectralManhattan;
-    } else if (method == "minkowski") {
-      opts.method = ClusteringMethod::kSpectralMinkowski;
-    } else if (method == "hamming") {
-      opts.method = ClusteringMethod::kSpectralHamming;
-    } else if (method == "hierarchical") {
-      opts.method = ClusteringMethod::kHierarchicalAverage;
-    } else {
-      std::fprintf(stderr, "unknown method %s\n", method.c_str());
-      return 2;
+    if (!ParseClusteringMethod(method, &opts.method)) {
+      // Not a built-in method name; accept any registered backend.
+      if (ClustererRegistry::Instance().Find(method) == nullptr) {
+        std::fprintf(stderr, "unknown method %s; registered backends:\n",
+                     method.c_str());
+        for (const std::string& name :
+             ClustererRegistry::Instance().Names()) {
+          std::fprintf(stderr, "  %s\n", name.c_str());
+        }
+        return 2;
+      }
+      opts.backend = method;
     }
     summary = Compress(log, opts);
   }
@@ -146,6 +172,15 @@ int RunCompress(int argc, char** argv) {
               summary.encoding.NumComponents(), summary.encoding.Error(),
               summary.encoding.TotalVerbosity(), log.NumDistinct(),
               log.NumFeatures());
+  if (refine > 0) {
+    std::size_t extra = 0;
+    for (const auto& patterns : summary.component_patterns) {
+      extra += patterns.size();
+    }
+    std::printf("refined: error %.4f nats with %zu extra patterns "
+                "(<= %zu per cluster)\n",
+                summary.refined_error, extra, refine);
+  }
 
   std::string error;
   if (!WriteSummaryFile(out_path, log.vocabulary(), summary.encoding,

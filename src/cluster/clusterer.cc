@@ -1,0 +1,179 @@
+#include "cluster/clusterer.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "cluster/distance.h"
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "cluster/spectral.h"
+#include "util/check.h"
+
+namespace logr {
+
+namespace {
+
+/// Default ClusterModel: no reusable state, every cut re-clusters.
+class RefitModel : public ClusterModel {
+ public:
+  RefitModel(const Clusterer* impl, const std::vector<FeatureVec>* vecs,
+             const std::vector<double>* weights, ClusterRequest req)
+      : impl_(impl), vecs_(vecs), weights_(weights), req_(req) {}
+
+  std::vector<int> Cut(std::size_t k) override {
+    ClusterRequest req = req_;
+    req.k = k;
+    return impl_->Cluster(*vecs_, *weights_, req);
+  }
+
+ private:
+  const Clusterer* impl_;
+  const std::vector<FeatureVec>* vecs_;
+  const std::vector<double>* weights_;
+  ClusterRequest req_;
+};
+
+class KMeansClusterer : public Clusterer {
+ public:
+  const char* Name() const override { return "KmeansEuclidean"; }
+
+  std::vector<int> Cluster(const std::vector<FeatureVec>& vecs,
+                           const std::vector<double>& weights,
+                           const ClusterRequest& req) const override {
+    KMeansOptions km;
+    km.k = req.k;
+    km.seed = req.seed;
+    km.n_init = req.n_init;
+    km.pool = req.pool;
+    return KMeansSparse(vecs, weights, req.num_features, km).assignment;
+  }
+};
+
+class SpectralClusterer : public Clusterer {
+ public:
+  SpectralClusterer(const char* name, DistanceSpec spec)
+      : name_(name), spec_(spec) {}
+
+  const char* Name() const override { return name_; }
+
+  std::vector<int> Cluster(const std::vector<FeatureVec>& vecs,
+                           const std::vector<double>& weights,
+                           const ClusterRequest& req) const override {
+    SpectralOptions so;
+    so.k = req.k;
+    so.seed = req.seed;
+    so.n_init = req.n_init;
+    so.distance = spec_;
+    so.pool = req.pool;
+    return SpectralCluster(vecs, weights, req.num_features, so).assignment;
+  }
+
+ private:
+  const char* name_;
+  DistanceSpec spec_;
+};
+
+/// Dendrogram-backed model: one agglomeration serves every K.
+class DendrogramModel : public ClusterModel {
+ public:
+  explicit DendrogramModel(Dendrogram dg) : dg_(std::move(dg)) {}
+
+  std::vector<int> Cut(std::size_t k) override { return dg_.CutToK(k); }
+  bool MonotoneCuts() const override { return true; }
+
+ private:
+  Dendrogram dg_;
+};
+
+class HierarchicalClusterer : public Clusterer {
+ public:
+  const char* Name() const override { return "hierarchical"; }
+
+  std::vector<int> Cluster(const std::vector<FeatureVec>& vecs,
+                           const std::vector<double>& weights,
+                           const ClusterRequest& req) const override {
+    return Fit(vecs, weights, req)->Cut(req.k);
+  }
+
+  std::unique_ptr<ClusterModel> Fit(
+      const std::vector<FeatureVec>& vecs, const std::vector<double>& weights,
+      const ClusterRequest& req) const override {
+    DistanceSpec spec;
+    spec.metric = Metric::kHamming;
+    // Honor the ClusterRequest contract: nullptr means the shared pool,
+    // not the serial path (which nullptr selects in DistanceMatrix).
+    ThreadPool* pool = req.pool ? req.pool : ThreadPool::Shared();
+    Matrix d = DistanceMatrix(vecs, req.num_features, spec, pool);
+    return std::make_unique<DendrogramModel>(
+        AgglomerativeAverageLinkage(d, weights));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ClusterModel> Clusterer::Fit(
+    const std::vector<FeatureVec>& vecs, const std::vector<double>& weights,
+    const ClusterRequest& req) const {
+  return std::make_unique<RefitModel>(this, &vecs, &weights, req);
+}
+
+struct ClustererRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::shared_ptr<Clusterer>> backends;
+};
+
+ClustererRegistry::ClustererRegistry() : impl_(new Impl) {
+  auto add = [this](std::shared_ptr<Clusterer> c) {
+    impl_->backends.emplace(c->Name(), std::move(c));
+  };
+  add(std::make_shared<KMeansClusterer>());
+  DistanceSpec manhattan;
+  manhattan.metric = Metric::kManhattan;
+  add(std::make_shared<SpectralClusterer>("manhattan", manhattan));
+  DistanceSpec minkowski;
+  minkowski.metric = Metric::kMinkowski;
+  minkowski.p = 4.0;
+  add(std::make_shared<SpectralClusterer>("minkowski", minkowski));
+  DistanceSpec hamming;
+  hamming.metric = Metric::kHamming;
+  add(std::make_shared<SpectralClusterer>("hamming", hamming));
+  add(std::make_shared<HierarchicalClusterer>());
+  impl_->backends.emplace("kmeans", impl_->backends.at("KmeansEuclidean"));
+}
+
+ClustererRegistry& ClustererRegistry::Instance() {
+  static ClustererRegistry* registry = new ClustererRegistry();
+  return *registry;
+}
+
+bool ClustererRegistry::Register(const std::string& name,
+                                 std::shared_ptr<Clusterer> impl) {
+  LOGR_CHECK(impl != nullptr);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->backends.emplace(name, std::move(impl)).second;
+}
+
+bool ClustererRegistry::RegisterAlias(const std::string& alias,
+                                      const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->backends.find(name);
+  if (it == impl_->backends.end()) return false;
+  return impl_->backends.emplace(alias, it->second).second;
+}
+
+const Clusterer* ClustererRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->backends.find(name);
+  return it == impl_->backends.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ClustererRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> names;
+  names.reserve(impl_->backends.size());
+  for (const auto& entry : impl_->backends) names.push_back(entry.first);
+  return names;
+}
+
+}  // namespace logr

@@ -1,0 +1,101 @@
+// Pluggable clustering back-ends.
+//
+// Every partitioning algorithm the compressor can use (k-means, the
+// spectral variants, hierarchical average-linkage, and any backend an
+// application registers at runtime) implements the Clusterer interface
+// and is resolved by name through ClustererRegistry. The compression
+// pipeline never names a concrete algorithm: it looks the backend up,
+// so new methods plug in without touching src/core/.
+#ifndef LOGR_CLUSTER_CLUSTERER_H_
+#define LOGR_CLUSTER_CLUSTERER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+#include "workload/feature_vec.h"
+
+namespace logr {
+
+/// Everything a backend needs besides the data itself.
+struct ClusterRequest {
+  std::size_t k = 1;
+  /// Size of the feature universe the sparse vectors index into.
+  std::size_t num_features = 0;
+  std::uint64_t seed = 17;
+  /// Random restarts for k-means style stages.
+  int n_init = 4;
+  /// Worker pool for data-parallel stages; nullptr selects
+  /// ThreadPool::Shared(). Results never depend on the pool size.
+  ThreadPool* pool = nullptr;
+};
+
+/// Fitted per-dataset state supporting repeated cuts at different K.
+/// Models may reference the vectors/weights passed to Clusterer::Fit and
+/// must not outlive them.
+class ClusterModel {
+ public:
+  virtual ~ClusterModel() = default;
+
+  /// Flat assignment (cluster ids dense in [0, k)) for a K-cluster cut.
+  virtual std::vector<int> Cut(std::size_t k) = 0;
+
+  /// True when Cut(k+1) always refines Cut(k) (hierarchical backends);
+  /// such models make error-target searches a single fit plus cheap cuts.
+  virtual bool MonotoneCuts() const { return false; }
+};
+
+/// A clustering algorithm over sparse binary feature vectors.
+class Clusterer {
+ public:
+  virtual ~Clusterer() = default;
+
+  /// Registry name (stable; used in options files and CLIs).
+  virtual const char* Name() const = 0;
+
+  /// Partitions `vecs` into `req.k` clusters. `weights` is empty
+  /// (uniform) or one non-negative weight per vector. Returns one
+  /// cluster id per input index, dense in [0, k).
+  virtual std::vector<int> Cluster(const std::vector<FeatureVec>& vecs,
+                                   const std::vector<double>& weights,
+                                   const ClusterRequest& req) const = 0;
+
+  /// Fits reusable state for repeated cuts. The default adapter simply
+  /// re-runs Cluster for every requested K; hierarchical backends
+  /// override it with a dendrogram-backed model (MonotoneCuts() == true).
+  virtual std::unique_ptr<ClusterModel> Fit(
+      const std::vector<FeatureVec>& vecs, const std::vector<double>& weights,
+      const ClusterRequest& req) const;
+};
+
+/// Process-wide name -> backend table. Thread-safe. The five built-in
+/// backends ("KmeansEuclidean" a.k.a. "kmeans", "manhattan", "minkowski",
+/// "hamming", "hierarchical") are registered on first access.
+class ClustererRegistry {
+ public:
+  static ClustererRegistry& Instance();
+
+  /// Registers `impl` under `name`. Returns false (and keeps the existing
+  /// entry) when the name is already taken.
+  bool Register(const std::string& name, std::shared_ptr<Clusterer> impl);
+
+  /// Registers `alias` as another name for an existing backend.
+  bool RegisterAlias(const std::string& alias, const std::string& name);
+
+  /// The backend registered under `name`, or nullptr.
+  const Clusterer* Find(const std::string& name) const;
+
+  /// All registered names (aliases included), sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  ClustererRegistry();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_CLUSTER_CLUSTERER_H_

@@ -54,15 +54,23 @@ double Distance(const FeatureVec& a, const FeatureVec& b, std::size_t n,
 
 Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
                       const DistanceSpec& spec) {
+  return DistanceMatrix(vecs, n, spec, ThreadPool::Shared());
+}
+
+Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
+                      const DistanceSpec& spec, ThreadPool* pool) {
   const std::size_t count = vecs.size();
   Matrix d(count, count);
-  for (std::size_t i = 0; i < count; ++i) {
+  // Row-parallel over the upper triangle; rows write disjoint entries
+  // ((i, j) and its mirror (j, i) with j > i), so any schedule produces
+  // the same matrix.
+  ParallelFor(pool, 0, count, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < count; ++j) {
       double v = Distance(vecs[i], vecs[j], n, spec);
       d(i, j) = v;
       d(j, i) = v;
     }
-  }
+  });
   return d;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "linalg/matrix.h"
+#include "util/thread_pool.h"
 #include "workload/feature_vec.h"
 
 namespace logr {
@@ -39,9 +40,15 @@ std::size_t SymmetricDifference(const FeatureVec& a, const FeatureVec& b);
 double Distance(const FeatureVec& a, const FeatureVec& b, std::size_t n,
                 const DistanceSpec& spec);
 
-/// Full pairwise distance matrix of `vecs`.
+/// Full pairwise distance matrix of `vecs`, computed across the shared
+/// thread pool (LOGR_THREADS workers). Bit-identical to the serial path:
+/// every (i, j) entry is an independent write.
 Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
                       const DistanceSpec& spec);
+
+/// As above but on an explicit pool; `pool == nullptr` runs serially.
+Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
+                      const DistanceSpec& spec, ThreadPool* pool);
 
 }  // namespace logr
 

@@ -67,9 +67,12 @@ ClusteringResult KMeansSparse(const std::vector<FeatureVec>& vecs,
   const std::size_t k = std::min(opts.k, count);
   std::vector<double> weights = ResolveWeights(count, weights_in);
   Pcg32 rng(opts.seed);
+  ThreadPool* pool = opts.pool ? opts.pool : ThreadPool::Shared();
 
   ClusteringResult best;
   best.inertia = std::numeric_limits<double>::max();
+  std::vector<int> new_assign(count);
+  std::vector<double> best_dist(count);
 
   for (int init = 0; init < std::max(1, opts.n_init); ++init) {
     // --- seed ---
@@ -94,9 +97,9 @@ ClusteringResult KMeansSparse(const std::vector<FeatureVec>& vecs,
         for (std::size_t f = 0; f < n; ++f) acc += row[f] * row[f];
         norm_sq[c] = acc;
       }
-      bool changed = false;
-      inertia = 0.0;
-      for (std::size_t i = 0; i < count; ++i) {
+      // Parallel scan into per-point slots; the order-sensitive inertia
+      // sum stays serial so every pool size gives identical results.
+      ParallelFor(pool, 0, count, [&](std::size_t i) {
         int best_c = 0;
         double best_d = std::numeric_limits<double>::max();
         for (std::size_t c = 0; c < k; ++c) {
@@ -106,11 +109,17 @@ ClusteringResult KMeansSparse(const std::vector<FeatureVec>& vecs,
             best_c = static_cast<int>(c);
           }
         }
-        if (assignment[i] != best_c) {
-          assignment[i] = best_c;
+        new_assign[i] = best_c;
+        best_dist[i] = best_d;
+      });
+      bool changed = false;
+      inertia = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (assignment[i] != new_assign[i]) {
+          assignment[i] = new_assign[i];
           changed = true;
         }
-        inertia += weights[i] * std::max(0.0, best_d);
+        inertia += weights[i] * std::max(0.0, best_dist[i]);
       }
       if (!changed) break;
       // --- update ---
@@ -154,9 +163,12 @@ ClusteringResult KMeansDense(const std::vector<Vector>& points,
   const std::size_t k = std::min(opts.k, count);
   std::vector<double> weights = ResolveWeights(count, weights_in);
   Pcg32 rng(opts.seed ^ 0x9e3779b97f4a7c15ULL);
+  ThreadPool* pool = opts.pool ? opts.pool : ThreadPool::Shared();
 
   ClusteringResult best;
   best.inertia = std::numeric_limits<double>::max();
+  std::vector<int> new_assign(count);
+  std::vector<double> best_dist(count);
 
   for (int init = 0; init < std::max(1, opts.n_init); ++init) {
     auto seed_centers = PlusPlusSeed(
@@ -173,9 +185,7 @@ ClusteringResult KMeansDense(const std::vector<Vector>& points,
     double inertia = 0.0;
     int iter = 0;
     for (; iter < opts.max_iterations; ++iter) {
-      bool changed = false;
-      inertia = 0.0;
-      for (std::size_t i = 0; i < count; ++i) {
+      ParallelFor(pool, 0, count, [&](std::size_t i) {
         int best_c = 0;
         double best_d = std::numeric_limits<double>::max();
         for (std::size_t c = 0; c < k; ++c) {
@@ -185,11 +195,17 @@ ClusteringResult KMeansDense(const std::vector<Vector>& points,
             best_c = static_cast<int>(c);
           }
         }
-        if (assignment[i] != best_c) {
-          assignment[i] = best_c;
+        new_assign[i] = best_c;
+        best_dist[i] = best_d;
+      });
+      bool changed = false;
+      inertia = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (assignment[i] != new_assign[i]) {
+          assignment[i] = new_assign[i];
           changed = true;
         }
-        inertia += weights[i] * best_d;
+        inertia += weights[i] * best_dist[i];
       }
       if (!changed) break;
       for (auto& c : centroids) std::fill(c.begin(), c.end(), 0.0);

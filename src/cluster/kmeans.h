@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/thread_pool.h"
 #include "workload/feature_vec.h"
 
 namespace logr {
@@ -23,6 +24,10 @@ struct KMeansOptions {
   /// (sklearn's n_init).
   int n_init = 4;
   std::uint64_t seed = 17;
+  /// Pool for the assignment step; nullptr selects ThreadPool::Shared().
+  /// Results are bit-identical for every pool size (the per-point scan is
+  /// parallel, the inertia reduction is serial and in index order).
+  ThreadPool* pool = nullptr;
 };
 
 struct ClusteringResult {

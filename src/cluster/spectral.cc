@@ -22,8 +22,10 @@ ClusteringResult SpectralCluster(const std::vector<FeatureVec>& vecs,
     return r;
   }
 
+  ThreadPool* pool = opts.pool ? opts.pool : ThreadPool::Shared();
+
   // Pairwise distances and median bandwidth.
-  Matrix dist = DistanceMatrix(vecs, n, opts.distance);
+  Matrix dist = DistanceMatrix(vecs, n, opts.distance, pool);
   double sigma = opts.sigma;
   if (sigma <= 0.0) {
     std::vector<double> nonzero;
@@ -92,6 +94,7 @@ ClusteringResult SpectralCluster(const std::vector<FeatureVec>& vecs,
   km.k = k;
   km.seed = opts.seed;
   km.n_init = opts.n_init;
+  km.pool = pool;
   ClusteringResult r = KMeansDense(embedding, weights, km);
   r.k = k;
   return r;

@@ -20,6 +20,9 @@ struct SpectralOptions {
   std::uint64_t seed = 17;
   /// Restarts for the embedded k-means stage.
   int n_init = 4;
+  /// Pool for the distance and k-means stages; nullptr selects
+  /// ThreadPool::Shared(). Results never depend on the pool size.
+  ThreadPool* pool = nullptr;
 };
 
 /// Spectral clustering of sparse binary vectors in an n-feature universe.

@@ -1,209 +1,27 @@
 #include "core/logr_compressor.h"
 
-#include "util/check.h"
-#include "util/stopwatch.h"
-
 namespace logr {
 
-const char* ClusteringMethodName(ClusteringMethod m) {
-  switch (m) {
-    case ClusteringMethod::kKMeansEuclidean: return "KmeansEuclidean";
-    case ClusteringMethod::kSpectralManhattan: return "manhattan";
-    case ClusteringMethod::kSpectralMinkowski: return "minkowski";
-    case ClusteringMethod::kSpectralHamming: return "hamming";
-    case ClusteringMethod::kHierarchicalAverage: return "hierarchical";
-  }
-  return "?";
-}
-
-namespace {
-
-std::vector<FeatureVec> DistinctVectors(const QueryLog& log) {
-  std::vector<FeatureVec> vecs;
-  vecs.reserve(log.NumDistinct());
-  for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
-    vecs.push_back(log.Vector(i));
-  }
-  return vecs;
-}
-
-std::vector<double> MultiplicityWeights(const QueryLog& log, bool enabled) {
-  std::vector<double> w;
-  if (!enabled) return w;
-  w.reserve(log.NumDistinct());
-  for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
-    w.push_back(static_cast<double>(log.Multiplicity(i)));
-  }
-  return w;
-}
-
-std::vector<int> RunClustering(const QueryLog& log, const LogROptions& opts,
-                               std::size_t k) {
-  std::vector<FeatureVec> vecs = DistinctVectors(log);
-  std::vector<double> weights =
-      MultiplicityWeights(log, opts.multiplicity_weighted);
-  const std::size_t n = log.NumFeatures();
-
-  switch (opts.method) {
-    case ClusteringMethod::kKMeansEuclidean: {
-      KMeansOptions km;
-      km.k = k;
-      km.seed = opts.seed;
-      km.n_init = opts.n_init;
-      return KMeansSparse(vecs, weights, n, km).assignment;
-    }
-    case ClusteringMethod::kSpectralManhattan:
-    case ClusteringMethod::kSpectralMinkowski:
-    case ClusteringMethod::kSpectralHamming: {
-      SpectralOptions so;
-      so.k = k;
-      so.seed = opts.seed;
-      so.n_init = opts.n_init;
-      if (opts.method == ClusteringMethod::kSpectralManhattan) {
-        so.distance.metric = Metric::kManhattan;
-      } else if (opts.method == ClusteringMethod::kSpectralMinkowski) {
-        so.distance.metric = Metric::kMinkowski;
-        so.distance.p = 4.0;
-      } else {
-        so.distance.metric = Metric::kHamming;
-      }
-      return SpectralCluster(vecs, weights, n, so).assignment;
-    }
-    case ClusteringMethod::kHierarchicalAverage: {
-      DistanceSpec spec;
-      spec.metric = Metric::kHamming;
-      Matrix d = DistanceMatrix(vecs, n, spec);
-      Dendrogram dg = AgglomerativeAverageLinkage(d, weights);
-      return dg.CutToK(k);
-    }
-  }
-  LOGR_CHECK(false);
-  return {};
-}
-
-}  // namespace
-
 LogRSummary Compress(const QueryLog& log, const LogROptions& opts) {
-  LOGR_CHECK(log.NumDistinct() > 0);
-  LogRSummary out;
-  Stopwatch timer;
-  out.assignment = RunClustering(log, opts, opts.num_clusters);
-  out.cluster_seconds = timer.ElapsedSeconds();
-  out.encoding = NaiveMixtureEncoding::FromPartition(log, out.assignment,
-                                                     opts.num_clusters);
-  return out;
-}
-
-LogRSummary CompressAdaptive(const QueryLog& log, std::size_t num_clusters,
-                             const LogROptions& opts) {
-  LOGR_CHECK(log.NumDistinct() > 0);
-  Stopwatch timer;
-  num_clusters = std::min(num_clusters, log.NumDistinct());
-
-  std::vector<int> assignment(log.NumDistinct(), 0);
-  std::size_t k = 1;
-  std::vector<bool> splittable(1, true);
-
-  while (k < num_clusters) {
-    NaiveMixtureEncoding current =
-        NaiveMixtureEncoding::FromPartition(log, assignment, k);
-    // Pick the splittable cluster with the largest weighted error.
-    double worst_err = 0.0;
-    int worst = -1;
-    for (std::size_t c = 0; c < current.NumComponents(); ++c) {
-      const MixtureComponent& comp = current.Component(c);
-      if (comp.members.size() < 2) continue;
-      int label = assignment[comp.members[0]];
-      if (!splittable[label]) continue;
-      double contribution =
-          comp.weight * comp.encoding.ReproductionError();
-      if (contribution > worst_err) {
-        worst_err = contribution;
-        worst = label;
-      }
-    }
-    if (worst < 0 || worst_err <= 1e-12) break;  // nothing left to gain
-
-    // Bisect the worst cluster.
-    std::vector<std::size_t> members;
-    std::vector<FeatureVec> vecs;
-    std::vector<double> weights;
-    for (std::size_t i = 0; i < assignment.size(); ++i) {
-      if (assignment[i] == worst) {
-        members.push_back(i);
-        vecs.push_back(log.Vector(i));
-        if (opts.multiplicity_weighted) {
-          weights.push_back(static_cast<double>(log.Multiplicity(i)));
-        }
-      }
-    }
-    KMeansOptions km;
-    km.k = 2;
-    km.seed = opts.seed + 977 * k;
-    km.n_init = opts.n_init;
-    ClusteringResult split =
-        KMeansSparse(vecs, weights, log.NumFeatures(), km);
-    bool moved_any = false;
-    for (std::size_t j = 0; j < members.size(); ++j) {
-      if (split.assignment[j] == 1) {
-        assignment[members[j]] = static_cast<int>(k);
-        moved_any = true;
-      }
-    }
-    bool kept_any = false;
-    for (std::size_t j = 0; j < members.size(); ++j) {
-      if (assignment[members[j]] == worst) {
-        kept_any = true;
-        break;
-      }
-    }
-    if (!moved_any || !kept_any) {
-      // Degenerate split: identical vectors modulo weights; freeze it.
-      for (std::size_t j = 0; j < members.size(); ++j) {
-        assignment[members[j]] = worst;
-      }
-      splittable[worst] = false;
-      continue;
-    }
-    splittable.push_back(true);
-    ++k;
-  }
-
-  LogRSummary out;
-  out.assignment = std::move(assignment);
-  out.encoding = NaiveMixtureEncoding::FromPartition(log, out.assignment, k);
-  out.cluster_seconds = timer.ElapsedSeconds();
-  return out;
+  return CompressionPipeline(log, opts).RunFixedK();
 }
 
 LogRSummary CompressToErrorTarget(const QueryLog& log, double error_target,
                                   std::size_t max_clusters,
                                   const LogROptions& opts) {
-  LOGR_CHECK(log.NumDistinct() > 0);
-  Stopwatch timer;
-  // Hierarchical clustering gives monotone cuts: one dendrogram serves
-  // every K, so the search is a single agglomeration plus cheap cuts.
-  std::vector<FeatureVec> vecs = DistinctVectors(log);
-  std::vector<double> weights =
-      MultiplicityWeights(log, opts.multiplicity_weighted);
-  DistanceSpec spec;
-  spec.metric = Metric::kHamming;
-  Matrix d = DistanceMatrix(vecs, log.NumFeatures(), spec);
-  Dendrogram dg = AgglomerativeAverageLinkage(d, weights);
-
-  LogRSummary out;
-  max_clusters = std::min(max_clusters, log.NumDistinct());
-  for (std::size_t k = 1; k <= max_clusters; ++k) {
-    std::vector<int> assignment = dg.CutToK(k);
-    NaiveMixtureEncoding enc =
-        NaiveMixtureEncoding::FromPartition(log, assignment, k);
-    double err = enc.Error();
-    out.assignment = std::move(assignment);
-    out.encoding = std::move(enc);
-    if (err <= error_target) break;
+  LogROptions o = opts;
+  if (o.backend.empty()) {
+    // Historic contract: the K search rides hierarchical clustering's
+    // monotone cuts (one fit, cheap re-cuts) regardless of opts.method.
+    o.backend = "hierarchical";
   }
-  out.cluster_seconds = timer.ElapsedSeconds();
-  return out;
+  return CompressionPipeline(log, o).RunErrorTarget(error_target,
+                                                    max_clusters);
+}
+
+LogRSummary CompressAdaptive(const QueryLog& log, std::size_t num_clusters,
+                             const LogROptions& opts) {
+  return CompressionPipeline(log, opts).RunAdaptive(num_clusters);
 }
 
 }  // namespace logr

@@ -1,65 +1,38 @@
 // LogR: the paper's pattern-mixture compression scheme (Section 6).
 //
 // Compression = partition the log's distinct queries by feature overlap
-// (k-means / spectral / hierarchical, Sec. 6.1), then encode each
-// partition naively. The tunable parameter is the number of clusters K
-// (more clusters -> lower Error, higher Total Verbosity), or
-// equivalently an Error target reached by growing K.
+// (any ClustererRegistry backend: k-means / spectral / hierarchical /
+// application-registered, Sec. 6.1), then encode each partition naively.
+// The tunable parameter is the number of clusters K (more clusters ->
+// lower Error, higher Total Verbosity), or equivalently an Error target
+// reached by growing K.
+//
+// The three entry points below are thin strategy wrappers over the one
+// staged engine in core/pipeline.h (cluster -> encode -> refine).
 #ifndef LOGR_CORE_LOGR_COMPRESSOR_H_
 #define LOGR_CORE_LOGR_COMPRESSOR_H_
 
-#include <string>
-
-#include "cluster/distance.h"
-#include "cluster/hierarchical.h"
-#include "cluster/kmeans.h"
-#include "cluster/spectral.h"
-#include "core/mixture.h"
+#include "core/pipeline.h"
 #include "workload/query_log.h"
 
 namespace logr {
-
-enum class ClusteringMethod {
-  kKMeansEuclidean,      // paper: "KmeansEuclidean"
-  kSpectralManhattan,    // paper: "manhattan"
-  kSpectralMinkowski,    // paper: "minkowski" (p = 4)
-  kSpectralHamming,      // paper: "hamming"
-  kHierarchicalAverage,  // paper Sec. 6.1.1 (monotone assignments)
-};
-
-const char* ClusteringMethodName(ClusteringMethod m);
-
-struct LogROptions {
-  ClusteringMethod method = ClusteringMethod::kKMeansEuclidean;
-  std::size_t num_clusters = 1;
-  std::uint64_t seed = 17;
-  /// Random restarts for k-means style stages.
-  int n_init = 4;
-  /// Weight distinct queries by multiplicity during clustering.
-  bool multiplicity_weighted = true;
-};
-
-struct LogRSummary {
-  NaiveMixtureEncoding encoding;
-  std::vector<int> assignment;   // cluster per distinct vector
-  double cluster_seconds = 0.0;  // wall-clock of the clustering stage
-};
 
 /// Compresses `log` into a naive mixture encoding with `opts.num_clusters`
 /// partitions.
 LogRSummary Compress(const QueryLog& log, const LogROptions& opts);
 
-/// Grows K (using hierarchical clustering's monotone cuts) until the
-/// generalized Reproduction Error drops to `error_target` or K reaches
-/// `max_clusters`. Returns the first summary meeting the target.
+/// Grows K until the generalized Reproduction Error drops to
+/// `error_target` or K reaches `max_clusters`, returning the first
+/// summary meeting the target. Runs on the hierarchical backend (one
+/// agglomeration, monotone cuts) unless `opts.backend` names another.
 LogRSummary CompressToErrorTarget(const QueryLog& log, double error_target,
                                   std::size_t max_clusters,
                                   const LogROptions& opts);
 
 /// Adaptive top-down refinement: starting from one cluster, repeatedly
-/// bisect (k-means, k = 2) the component contributing the most weighted
-/// Reproduction Error, until `num_clusters` components exist or all
-/// components are error-free. This realizes the paper's Appendix-E
+/// bisect (configured backend, k = 2) the component contributing the most
+/// weighted Reproduction Error, until `num_clusters` components exist or
+/// all components are error-free. This realizes the paper's Appendix-E
 /// observation that messy clusters "need further sub-clustering", spends
 /// the cluster budget where the Error lives, and yields monotone
 /// refinements like hierarchical cuts while keeping k-means locality.

@@ -1,0 +1,264 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/itemsets.h"
+#include "core/refine.h"
+#include "util/check.h"
+
+namespace logr {
+
+const char* ClusteringMethodName(ClusteringMethod m) {
+  switch (m) {
+    case ClusteringMethod::kKMeansEuclidean: return "KmeansEuclidean";
+    case ClusteringMethod::kSpectralManhattan: return "manhattan";
+    case ClusteringMethod::kSpectralMinkowski: return "minkowski";
+    case ClusteringMethod::kSpectralHamming: return "hamming";
+    case ClusteringMethod::kHierarchicalAverage: return "hierarchical";
+  }
+  return "?";
+}
+
+bool ParseClusteringMethod(const std::string& name, ClusteringMethod* out) {
+  LOGR_CHECK(out != nullptr);
+  if (name == "KmeansEuclidean" || name == "kmeans") {
+    *out = ClusteringMethod::kKMeansEuclidean;
+  } else if (name == "manhattan") {
+    *out = ClusteringMethod::kSpectralManhattan;
+  } else if (name == "minkowski") {
+    *out = ClusteringMethod::kSpectralMinkowski;
+  } else if (name == "hamming") {
+    *out = ClusteringMethod::kSpectralHamming;
+  } else if (name == "hierarchical") {
+    *out = ClusteringMethod::kHierarchicalAverage;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ClusterRequest PipelineContext::Request(std::size_t k) const {
+  ClusterRequest req;
+  req.k = k;
+  req.num_features = num_features;
+  req.seed = opts.seed;
+  req.n_init = opts.n_init;
+  req.pool = pool;
+  return req;
+}
+
+CompressionPipeline::CompressionPipeline(const QueryLog& log,
+                                         const LogROptions& opts) {
+  LOGR_CHECK(log.NumDistinct() > 0);
+  ctx_.log = &log;
+  ctx_.opts = opts;
+  ctx_.rng = Pcg32(opts.seed);
+  ctx_.pool = opts.pool ? opts.pool : ThreadPool::Shared();
+  const std::string& name =
+      opts.backend.empty() ? ClusteringMethodName(opts.method) : opts.backend;
+  ctx_.clusterer = ClustererRegistry::Instance().Find(name);
+  LOGR_CHECK_MSG(ctx_.clusterer != nullptr, name.c_str());
+  ctx_.num_features = log.NumFeatures();
+  ctx_.vecs.reserve(log.NumDistinct());
+  for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
+    ctx_.vecs.push_back(log.Vector(i));
+  }
+  if (opts.multiplicity_weighted) {
+    ctx_.weights.reserve(log.NumDistinct());
+    for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
+      ctx_.weights.push_back(static_cast<double>(log.Multiplicity(i)));
+    }
+  }
+}
+
+std::vector<int> CompressionPipeline::ClusterStage(std::size_t k) {
+  Stopwatch stage;
+  std::vector<int> assignment =
+      ctx_.clusterer->Cluster(ctx_.vecs, ctx_.weights, ctx_.Request(k));
+  cluster_seconds_ += stage.ElapsedSeconds();
+  return assignment;
+}
+
+LogRSummary CompressionPipeline::EncodeStage(std::vector<int> assignment,
+                                             std::size_t k) {
+  LogRSummary out;
+  out.assignment = std::move(assignment);
+  out.encoding =
+      NaiveMixtureEncoding::FromPartition(*ctx_.log, out.assignment, k);
+  out.refined_error = out.encoding.Error();
+  out.cluster_seconds = cluster_seconds_;
+  out.total_seconds = ctx_.timer.ElapsedSeconds();
+  return out;
+}
+
+void CompressionPipeline::RefineStage(LogRSummary* summary) {
+  const std::size_t budget = ctx_.opts.refine_patterns;
+  if (budget == 0) return;
+  double refined = 0.0;
+  summary->component_patterns.assign(summary->encoding.NumComponents(), {});
+  for (std::size_t c = 0; c < summary->encoding.NumComponents(); ++c) {
+    const MixtureComponent& comp = summary->encoding.Component(c);
+    double naive_err = comp.encoding.ReproductionError();
+    if (comp.members.size() < 2 || naive_err <= 1e-12) {
+      refined += comp.weight * naive_err;
+      continue;
+    }
+    QueryLog sublog = ctx_.log->Subset(comp.members);
+    std::vector<double> row_weights;
+    row_weights.reserve(sublog.NumDistinct());
+    for (std::size_t i = 0; i < sublog.NumDistinct(); ++i) {
+      row_weights.push_back(static_cast<double>(sublog.Multiplicity(i)));
+    }
+    AprioriOptions mine;
+    mine.min_size = 2;  // singletons are already naive marginals
+    mine.max_size = 4;
+    mine.max_results = 256;
+    std::vector<FeatureVec> candidates;
+    for (FrequentItemset& fi : MineFrequentItemsets(sublog.DistinctVectors(),
+                                                    row_weights, mine)) {
+      candidates.push_back(std::move(fi.items));
+    }
+    std::vector<ScoredPattern> ranked =
+        RankPatterns(sublog, comp.encoding, candidates);
+    // Both corr_rank signs mark independence violations (naive under- or
+    // over-estimates); keep the largest magnitudes, matching
+    // RefinedNaiveEncoding's own retention priority.
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const ScoredPattern& a, const ScoredPattern& b) {
+                       return std::fabs(a.corr_rank) > std::fabs(b.corr_rank);
+                     });
+    std::vector<FeatureVec> extra;
+    for (const ScoredPattern& sp : ranked) {
+      if (extra.size() >= budget) break;
+      if (std::fabs(sp.corr_rank) <= 1e-12) break;  // the rest buy nothing
+      extra.push_back(sp.pattern);
+    }
+    if (extra.empty()) {
+      refined += comp.weight * naive_err;
+      continue;
+    }
+    RefinedNaiveEncoding ref(sublog, std::move(extra));
+    // Refinement with exact marginals can only tighten the max-ent model,
+    // but guard against numerical jitter on near-zero errors.
+    double err = std::min(naive_err, ref.ReproductionError());
+    refined += comp.weight * err;
+    summary->component_patterns[c] = ref.retained_patterns();
+  }
+  summary->refined_error = refined;
+  summary->total_seconds = ctx_.timer.ElapsedSeconds();
+}
+
+LogRSummary CompressionPipeline::RunFixedK() {
+  // More clusters than distinct vectors buys nothing and would make the
+  // encode stage allocate opts.num_clusters components.
+  const std::size_t k =
+      std::min(ctx_.opts.num_clusters, ctx_.log->NumDistinct());
+  LogRSummary out = EncodeStage(ClusterStage(k), k);
+  RefineStage(&out);
+  return out;
+}
+
+LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
+                                                std::size_t max_clusters) {
+  max_clusters = std::min(max_clusters, ctx_.log->NumDistinct());
+  Stopwatch fit_timer;
+  std::unique_ptr<ClusterModel> model =
+      ctx_.clusterer->Fit(ctx_.vecs, ctx_.weights, ctx_.Request(1));
+  cluster_seconds_ += fit_timer.ElapsedSeconds();
+
+  LogRSummary out;
+  for (std::size_t k = 1; k <= max_clusters; ++k) {
+    Stopwatch cut_timer;
+    std::vector<int> assignment = model->Cut(k);
+    cluster_seconds_ += cut_timer.ElapsedSeconds();
+    out = EncodeStage(std::move(assignment), k);
+    if (out.encoding.Error() <= error_target) break;
+  }
+  RefineStage(&out);
+  return out;
+}
+
+LogRSummary CompressionPipeline::RunAdaptive(std::size_t num_clusters) {
+  const QueryLog& log = *ctx_.log;
+  num_clusters = std::min(num_clusters, log.NumDistinct());
+
+  std::vector<int> assignment(log.NumDistinct(), 0);
+  std::size_t k = 1;
+  std::vector<bool> splittable(1, true);
+
+  while (k < num_clusters) {
+    NaiveMixtureEncoding current =
+        NaiveMixtureEncoding::FromPartition(log, assignment, k);
+    // Pick the splittable cluster with the largest weighted error.
+    double worst_err = 0.0;
+    int worst = -1;
+    for (std::size_t c = 0; c < current.NumComponents(); ++c) {
+      const MixtureComponent& comp = current.Component(c);
+      if (comp.members.size() < 2) continue;
+      int label = assignment[comp.members[0]];
+      if (!splittable[label]) continue;
+      double contribution = comp.weight * comp.encoding.ReproductionError();
+      if (contribution > worst_err) {
+        worst_err = contribution;
+        worst = label;
+      }
+    }
+    if (worst < 0 || worst_err <= 1e-12) break;  // nothing left to gain
+
+    // Bisect the worst cluster with the configured backend.
+    std::vector<std::size_t> members;
+    std::vector<FeatureVec> vecs;
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      if (assignment[i] == worst) {
+        members.push_back(i);
+        vecs.push_back(log.Vector(i));
+        if (ctx_.opts.multiplicity_weighted) {
+          weights.push_back(static_cast<double>(log.Multiplicity(i)));
+        }
+      }
+    }
+    ClusterRequest req = ctx_.Request(2);
+    // Each bisection gets a fresh seed from the pipeline's PRNG: the
+    // draw order is deterministic, so results are reproducible and
+    // independent of the thread count. Separate statements — operand
+    // evaluation order within one expression is compiler-specific.
+    const std::uint64_t seed_hi = ctx_.rng.Next();
+    const std::uint64_t seed_lo = ctx_.rng.Next();
+    req.seed = (seed_hi << 32) | seed_lo;
+    Stopwatch stage;
+    std::vector<int> split = ctx_.clusterer->Cluster(vecs, weights, req);
+    cluster_seconds_ += stage.ElapsedSeconds();
+    bool moved_any = false;
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (split[j] == 1) {
+        assignment[members[j]] = static_cast<int>(k);
+        moved_any = true;
+      }
+    }
+    bool kept_any = false;
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (assignment[members[j]] == worst) {
+        kept_any = true;
+        break;
+      }
+    }
+    if (!moved_any || !kept_any) {
+      // Degenerate split: identical vectors modulo weights; freeze it.
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        assignment[members[j]] = worst;
+      }
+      splittable[worst] = false;
+      continue;
+    }
+    splittable.push_back(true);
+    ++k;
+  }
+
+  LogRSummary out = EncodeStage(std::move(assignment), k);
+  RefineStage(&out);
+  return out;
+}
+
+}  // namespace logr

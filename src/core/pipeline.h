@@ -1,0 +1,140 @@
+// The staged compression engine behind every LogR entry point.
+//
+// A CompressionPipeline runs up to three stages over one shared
+// PipelineContext (options, PRNG, stopwatch, thread pool, cached
+// distinct vectors):
+//
+//   cluster  partition the distinct queries with a registry-resolved
+//            Clusterer backend (never a hardwired algorithm),
+//   encode   build the naive mixture encoding of the partition,
+//   refine   (optional) mine frequent itemsets per component, rank them
+//            by corr_rank, and measure the refined Error (Sec. 6.4).
+//
+// The public compression modes — fixed K, error target, adaptive
+// bisection — are thin strategies over this one engine; see
+// core/logr_compressor.h for their contracts.
+#ifndef LOGR_CORE_PIPELINE_H_
+#define LOGR_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/clusterer.h"
+#include "core/mixture.h"
+#include "util/prng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+#include "workload/query_log.h"
+
+namespace logr {
+
+enum class ClusteringMethod {
+  kKMeansEuclidean,      // paper: "KmeansEuclidean"
+  kSpectralManhattan,    // paper: "manhattan"
+  kSpectralMinkowski,    // paper: "minkowski" (p = 4)
+  kSpectralHamming,      // paper: "hamming"
+  kHierarchicalAverage,  // paper Sec. 6.1.1 (monotone assignments)
+};
+
+/// Registry name of `m` (also the paper's label for the method).
+const char* ClusteringMethodName(ClusteringMethod m);
+
+/// Inverse of ClusteringMethodName. Also accepts the "kmeans" alias.
+/// Returns false (leaving `*out` untouched) for unknown names.
+bool ParseClusteringMethod(const std::string& name, ClusteringMethod* out);
+
+struct LogROptions {
+  ClusteringMethod method = ClusteringMethod::kKMeansEuclidean;
+  /// When non-empty, overrides `method` with any name registered in
+  /// ClustererRegistry — the hook for application-defined backends.
+  std::string backend;
+  std::size_t num_clusters = 1;
+  std::uint64_t seed = 17;
+  /// Random restarts for k-means style stages.
+  int n_init = 4;
+  /// Weight distinct queries by multiplicity during clustering.
+  bool multiplicity_weighted = true;
+  /// Worker pool for data-parallel stages; nullptr selects
+  /// ThreadPool::Shared(). Never changes results, only wall-clock.
+  ThreadPool* pool = nullptr;
+  /// When > 0, the refine stage keeps up to this many corr_rank-ranked
+  /// patterns per mixture component and reports the refined Error.
+  std::size_t refine_patterns = 0;
+};
+
+struct LogRSummary {
+  NaiveMixtureEncoding encoding;
+  std::vector<int> assignment;   // cluster per distinct vector
+  double cluster_seconds = 0.0;  // wall-clock of the clustering stage
+  double total_seconds = 0.0;    // wall-clock of the whole pipeline
+  /// Refine-stage output. `refined_error` equals encoding.Error() when
+  /// refinement is disabled (refine_patterns == 0) or buys nothing.
+  double refined_error = 0.0;
+  /// Retained extra patterns per component (empty unless refined).
+  std::vector<std::vector<FeatureVec>> component_patterns;
+};
+
+/// Shared state threaded through the pipeline stages.
+struct PipelineContext {
+  const QueryLog* log = nullptr;
+  LogROptions opts;
+  /// Seeded from opts.seed; strategies draw per-stage seeds from it
+  /// (e.g. one per adaptive bisection) in a deterministic order.
+  Pcg32 rng;
+  Stopwatch timer;    // started at pipeline construction
+  ThreadPool* pool = nullptr;
+  const Clusterer* clusterer = nullptr;  // registry-resolved backend
+  std::vector<FeatureVec> vecs;     // the log's distinct vectors
+  std::vector<double> weights;      // multiplicity weights (may be empty)
+  std::size_t num_features = 0;
+
+  /// ClusterRequest for a K-cluster run under these options.
+  ClusterRequest Request(std::size_t k) const;
+};
+
+class CompressionPipeline {
+ public:
+  /// Resolves the backend (aborts on an unknown `opts.backend` name) and
+  /// caches the log's distinct vectors and weights. `log` must outlive
+  /// the pipeline.
+  CompressionPipeline(const QueryLog& log, const LogROptions& opts);
+
+  // --- stages ---------------------------------------------------------
+
+  /// Partitions the distinct vectors into `k` clusters and charges the
+  /// elapsed time to the clustering stage.
+  std::vector<int> ClusterStage(std::size_t k);
+
+  /// Builds the mixture encoding of `assignment` into a summary carrying
+  /// the stage timings accumulated so far.
+  LogRSummary EncodeStage(std::vector<int> assignment, std::size_t k);
+
+  /// Mines + ranks extra patterns per component and records the refined
+  /// Error. No-op unless opts.refine_patterns > 0.
+  void RefineStage(LogRSummary* summary);
+
+  // --- strategies (one engine, three drivers) -------------------------
+
+  /// Compress: cluster at opts.num_clusters, encode, refine.
+  LogRSummary RunFixedK();
+
+  /// CompressToErrorTarget: fit the backend once, then grow K until the
+  /// Error drops to `error_target` or K reaches `max_clusters`.
+  /// Single-fit-cheap for backends with monotone cuts (hierarchical);
+  /// other backends re-cluster per K.
+  LogRSummary RunErrorTarget(double error_target, std::size_t max_clusters);
+
+  /// CompressAdaptive: top-down bisection of the worst component until
+  /// `num_clusters` components exist or all are error-free.
+  LogRSummary RunAdaptive(std::size_t num_clusters);
+
+  PipelineContext& context() { return ctx_; }
+
+ private:
+  PipelineContext ctx_;
+  double cluster_seconds_ = 0.0;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_CORE_PIPELINE_H_

@@ -1,0 +1,194 @@
+// Fixed-size worker pool for data-parallel hot paths (distance matrices,
+// k-means assignment).
+//
+// The pool exposes one primitive, ParallelFor, chosen so that callers stay
+// bit-deterministic: iterations write to disjoint, index-addressed slots and
+// any order-sensitive reduction is done serially by the caller afterwards.
+// Scheduling (dynamic block claiming) therefore never changes results, only
+// wall-clock time.
+#ifndef LOGR_UTIL_THREAD_POOL_H_
+#define LOGR_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace logr {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers. 0 or 1 creates a degenerate pool whose
+  /// ParallelFor runs inline on the calling thread.
+  explicit ThreadPool(std::size_t num_threads) {
+    if (num_threads <= 1) return;
+    workers_.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (1 for a degenerate/inline pool).
+  std::size_t NumThreads() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Runs `fn(i)` for every i in [begin, end) and returns once all
+  /// iterations completed. The calling thread participates, so the pool
+  /// makes progress even while its workers are busy elsewhere. Iterations
+  /// are claimed in contiguous blocks; `fn` must tolerate concurrent calls
+  /// on distinct indices. If `fn` throws, remaining iterations are
+  /// abandoned and the first exception is rethrown on the calling thread
+  /// after every in-flight worker has stopped touching the job. Not
+  /// reentrant: do not call ParallelFor from inside `fn`.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    // Small ranges run inline: the job-queue round trip (lock, wakeup,
+    // completion wait) costs more than a short loop, and the adaptive
+    // strategy issues many tiny k=2 bisections.
+    if (workers_.empty() || n <= kInlineThreshold) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+
+    // Small contiguous blocks + an atomic cursor: dynamic load balancing
+    // for skewed iterations (e.g. triangular distance loops).
+    const std::size_t block =
+        std::max<std::size_t>(1, n / (workers_.size() * 8));
+    auto job = std::make_shared<ForJob>();
+    job->next.store(begin);
+    job->begin = begin;
+    job->end = end;
+    job->block = block;
+    job->fn = &fn;
+
+    const std::size_t helpers =
+        std::min(workers_.size(), (n + block - 1) / block);
+    job->pending.store(static_cast<long>(helpers));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t t = 0; t < helpers; ++t) jobs_.push(job);
+    }
+    wake_.notify_all();
+
+    RunJob(*job);  // caller helps
+
+    {
+      std::unique_lock<std::mutex> lock(job->done_mu);
+      job->done_cv.wait(lock, [&] { return job->pending.load() == 0; });
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+  /// Process-wide pool sized from the LOGR_THREADS environment variable,
+  /// defaulting to the hardware concurrency. Intentionally leaked so it
+  /// outlives static destructors.
+  static ThreadPool* Shared() {
+    static ThreadPool* pool = new ThreadPool(SharedSize());
+    return pool;
+  }
+
+ private:
+  /// Below this many iterations the dispatch overhead dominates any
+  /// parallel win, so the loop runs inline on the caller.
+  static constexpr std::size_t kInlineThreshold = 64;
+
+  struct ForJob {
+    std::atomic<std::size_t> next{0};
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t block = 1;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<long> pending{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first exception thrown by `fn`
+  };
+
+  static std::size_t SharedSize() {
+    if (const char* env = std::getenv("LOGR_THREADS")) {
+      long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+
+  static void RunJob(ForJob& job) {
+    try {
+      for (;;) {
+        std::size_t lo = job.next.fetch_add(job.block);
+        if (lo >= job.end) break;
+        std::size_t hi = std::min(job.end, lo + job.block);
+        for (std::size_t i = lo; i < hi; ++i) (*job.fn)(i);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job.done_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Park the cursor past the end so no thread claims further blocks.
+      job.next.store(job.end);
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::shared_ptr<ForJob> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+        if (stopping_ && jobs_.empty()) return;
+        job = std::move(jobs_.front());
+        jobs_.pop();
+      }
+      RunJob(*job);
+      bool last;
+      {
+        std::lock_guard<std::mutex> lock(job->done_mu);
+        last = job->pending.fetch_sub(1) == 1;
+      }
+      if (last) job->done_cv.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::queue<std::shared_ptr<ForJob>> jobs_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper: serial loop when `pool` is null, pooled otherwise.
+inline void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(begin, end, fn);
+}
+
+}  // namespace logr
+
+#endif  // LOGR_UTIL_THREAD_POOL_H_

@@ -39,6 +39,9 @@ class QueryLog {
   /// Largest multiplicity of any distinct vector.
   std::uint64_t MaxMultiplicity() const;
 
+  /// All distinct vectors, indexed as Vector(i).
+  const std::vector<FeatureVec>& DistinctVectors() const { return distinct_; }
+
   /// Distinct vector / multiplicity / representative SQL by index.
   const FeatureVec& Vector(std::size_t i) const { return distinct_[i]; }
   std::uint64_t Multiplicity(std::size_t i) const { return counts_[i]; }

@@ -1,0 +1,292 @@
+// Tests for the pluggable Clusterer registry, the thread pool, and the
+// staged CompressionPipeline: parallel paths must be bit-identical to
+// serial ones, the registry must cover every built-in method, and a
+// backend registered at runtime must work end to end.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "cluster/clusterer.h"
+#include "cluster/distance.h"
+#include "core/logr_compressor.h"
+#include "gtest/gtest.h"
+#include "util/prng.h"
+#include "util/thread_pool.h"
+
+namespace logr {
+namespace {
+
+std::vector<FeatureVec> RandomVectors(std::size_t count, std::size_t n,
+                                      Pcg32* rng) {
+  std::vector<FeatureVec> vecs;
+  vecs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<FeatureId> ids;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (rng->NextBernoulli(0.3)) ids.push_back(static_cast<FeatureId>(f));
+    }
+    if (ids.empty()) ids.push_back(static_cast<FeatureId>(i % n));
+    vecs.push_back(FeatureVec(std::move(ids)));
+  }
+  return vecs;
+}
+
+QueryLog GroupedLog(std::size_t groups, std::size_t per_group,
+                    std::uint64_t seed) {
+  Pcg32 rng(seed);
+  QueryLog log;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t i = 0; i < per_group; ++i) {
+      std::vector<FeatureId> ids = {static_cast<FeatureId>(g * 8)};
+      for (std::size_t f = 1; f < 8; ++f) {
+        if (rng.NextBernoulli(0.5)) {
+          ids.push_back(static_cast<FeatureId>(g * 8 + f));
+        }
+      }
+      log.Add(FeatureVec(std::move(ids)), 1 + rng.NextBounded(30));
+    }
+  }
+  return log;
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " n=" << n;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DegeneratePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  int sum = 0;
+  // Non-atomic accumulator is safe: a 1-thread pool runs on the caller.
+  pool.ParallelFor(0, 10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(DistanceMatrixTest, ParallelBitIdenticalToSerial) {
+  Pcg32 rng(101);
+  const std::size_t n = 40;
+  std::vector<FeatureVec> vecs = RandomVectors(120, n, &rng);
+  for (Metric metric :
+       {Metric::kEuclidean, Metric::kManhattan, Metric::kHamming}) {
+    DistanceSpec spec;
+    spec.metric = metric;
+    Matrix serial = DistanceMatrix(vecs, n, spec, /*pool=*/nullptr);
+    ThreadPool pool(5);
+    Matrix parallel = DistanceMatrix(vecs, n, spec, &pool);
+    for (std::size_t i = 0; i < vecs.size(); ++i) {
+      for (std::size_t j = 0; j < vecs.size(); ++j) {
+        // Exact equality: the parallel schedule must not change a bit.
+        EXPECT_EQ(serial(i, j), parallel(i, j))
+            << "metric=" << static_cast<int>(metric) << " (" << i << ","
+            << j << ")";
+      }
+    }
+  }
+}
+
+TEST(ClustererRegistryTest, RoundTripsEveryBuiltInMethod) {
+  for (ClusteringMethod m :
+       {ClusteringMethod::kKMeansEuclidean,
+        ClusteringMethod::kSpectralManhattan,
+        ClusteringMethod::kSpectralMinkowski,
+        ClusteringMethod::kSpectralHamming,
+        ClusteringMethod::kHierarchicalAverage}) {
+    const char* name = ClusteringMethodName(m);
+    ClusteringMethod parsed;
+    ASSERT_TRUE(ParseClusteringMethod(name, &parsed)) << name;
+    EXPECT_EQ(parsed, m) << name;
+    EXPECT_NE(ClustererRegistry::Instance().Find(name), nullptr) << name;
+  }
+  // The CLI alias resolves to the same backend as the canonical name.
+  ClusteringMethod parsed;
+  ASSERT_TRUE(ParseClusteringMethod("kmeans", &parsed));
+  EXPECT_EQ(parsed, ClusteringMethod::kKMeansEuclidean);
+  EXPECT_EQ(ClustererRegistry::Instance().Find("kmeans"),
+            ClustererRegistry::Instance().Find("KmeansEuclidean"));
+  EXPECT_FALSE(ParseClusteringMethod("no-such-method", &parsed));
+  EXPECT_EQ(ClustererRegistry::Instance().Find("no-such-method"), nullptr);
+}
+
+TEST(ClustererRegistryTest, BackendsProduceValidAssignments) {
+  Pcg32 rng(7);
+  std::vector<FeatureVec> vecs = RandomVectors(30, 12, &rng);
+  ClusterRequest req;
+  req.k = 3;
+  req.num_features = 12;
+  for (const char* name :
+       {"KmeansEuclidean", "manhattan", "minkowski", "hamming",
+        "hierarchical"}) {
+    const Clusterer* c = ClustererRegistry::Instance().Find(name);
+    ASSERT_NE(c, nullptr) << name;
+    std::vector<int> assignment = c->Cluster(vecs, {}, req);
+    ASSERT_EQ(assignment.size(), vecs.size()) << name;
+    for (int a : assignment) {
+      EXPECT_GE(a, 0) << name;
+      EXPECT_LT(a, 3) << name;
+    }
+  }
+}
+
+TEST(ClustererRegistryTest, HierarchicalModelHasMonotoneCuts) {
+  Pcg32 rng(11);
+  std::vector<FeatureVec> vecs = RandomVectors(25, 10, &rng);
+  const Clusterer* hier = ClustererRegistry::Instance().Find("hierarchical");
+  ASSERT_NE(hier, nullptr);
+  ClusterRequest req;
+  req.num_features = 10;
+  std::unique_ptr<ClusterModel> model = hier->Fit(vecs, {}, req);
+  EXPECT_TRUE(model->MonotoneCuts());
+  // Cutting at K+1 refines the cut at K: equal labels stay together.
+  std::vector<int> coarse = model->Cut(3);
+  std::vector<int> fine = model->Cut(4);
+  for (std::size_t i = 0; i < vecs.size(); ++i) {
+    for (std::size_t j = i + 1; j < vecs.size(); ++j) {
+      if (fine[i] == fine[j]) {
+        EXPECT_EQ(coarse[i], coarse[j]);
+      }
+    }
+  }
+  // A non-hierarchical backend's default model re-fits and is honest
+  // about not being monotone. The default model references the weights
+  // passed to Fit, so they must outlive the Cut call.
+  const Clusterer* km = ClustererRegistry::Instance().Find("kmeans");
+  req.k = 2;
+  std::vector<double> uniform;
+  std::unique_ptr<ClusterModel> refit = km->Fit(vecs, uniform, req);
+  EXPECT_FALSE(refit->MonotoneCuts());
+  EXPECT_EQ(refit->Cut(2).size(), vecs.size());
+}
+
+TEST(PipelineTest, DeterministicAcrossThreadCounts) {
+  QueryLog log = GroupedLog(4, 10, 23);
+  auto run = [&](ThreadPool* pool) {
+    LogROptions opts;
+    opts.num_clusters = 4;
+    opts.seed = 5;
+    opts.pool = pool;
+    return Compress(log, opts);
+  };
+  ThreadPool serial(1);
+  LogRSummary base = run(&serial);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    LogRSummary s = run(&pool);
+    EXPECT_EQ(s.assignment, base.assignment) << threads << " threads";
+    // Error must match to the bit, not approximately.
+    EXPECT_EQ(s.encoding.Error(), base.encoding.Error())
+        << threads << " threads";
+  }
+}
+
+TEST(PipelineTest, AdaptiveDeterministicAcrossThreadCounts) {
+  QueryLog log = GroupedLog(5, 8, 41);
+  auto run = [&](ThreadPool* pool) {
+    LogROptions opts;
+    opts.seed = 9;
+    opts.pool = pool;
+    return CompressAdaptive(log, 8, opts);
+  };
+  ThreadPool serial(1);
+  ThreadPool wide(6);
+  LogRSummary a = run(&serial);
+  LogRSummary b = run(&wide);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.encoding.Error(), b.encoding.Error());
+}
+
+TEST(PipelineTest, StageTimingsAreOrdered) {
+  QueryLog log = GroupedLog(3, 8, 13);
+  LogROptions opts;
+  opts.num_clusters = 3;
+  LogRSummary s = Compress(log, opts);
+  EXPECT_GE(s.cluster_seconds, 0.0);
+  EXPECT_GE(s.total_seconds, s.cluster_seconds);
+}
+
+TEST(PipelineTest, RefineStageNeverWorsensError) {
+  QueryLog log = GroupedLog(3, 12, 59);
+  LogROptions opts;
+  opts.num_clusters = 2;
+  opts.refine_patterns = 4;
+  LogRSummary s = Compress(log, opts);
+  EXPECT_LE(s.refined_error, s.encoding.Error() + 1e-9);
+  EXPECT_EQ(s.component_patterns.size(), s.encoding.NumComponents());
+  // Without refinement the refined error reports the naive error.
+  opts.refine_patterns = 0;
+  LogRSummary plain = Compress(log, opts);
+  EXPECT_EQ(plain.refined_error, plain.encoding.Error());
+  EXPECT_TRUE(plain.component_patterns.empty());
+}
+
+// A deliberately trivial backend: assigns vector i to cluster i % k.
+// Registered once at runtime to prove third-party backends plug into the
+// compressor without touching src/core/.
+class RoundRobinClusterer : public Clusterer {
+ public:
+  const char* Name() const override { return "test_roundrobin"; }
+
+  std::vector<int> Cluster(const std::vector<FeatureVec>& vecs,
+                           const std::vector<double>& /*weights*/,
+                           const ClusterRequest& req) const override {
+    std::vector<int> assignment(vecs.size());
+    for (std::size_t i = 0; i < vecs.size(); ++i) {
+      assignment[i] = static_cast<int>(i % std::max<std::size_t>(1, req.k));
+    }
+    return assignment;
+  }
+};
+
+TEST(PipelineTest, RuntimeRegisteredBackendWorksEndToEnd) {
+  ClustererRegistry& registry = ClustererRegistry::Instance();
+  if (registry.Find("test_roundrobin") == nullptr) {
+    ASSERT_TRUE(registry.Register("test_roundrobin",
+                                  std::make_shared<RoundRobinClusterer>()));
+  }
+  // Duplicate registration is rejected, not silently replaced.
+  EXPECT_FALSE(registry.Register("test_roundrobin",
+                                 std::make_shared<RoundRobinClusterer>()));
+
+  QueryLog log = GroupedLog(3, 10, 77);
+  LogROptions opts;
+  opts.backend = "test_roundrobin";
+  opts.num_clusters = 5;
+  LogRSummary s = Compress(log, opts);
+  ASSERT_EQ(s.assignment.size(), log.NumDistinct());
+  for (std::size_t i = 0; i < s.assignment.size(); ++i) {
+    EXPECT_EQ(s.assignment[i], static_cast<int>(i % 5));
+  }
+  EXPECT_EQ(s.encoding.NumComponents(), 5u);
+  EXPECT_GE(s.encoding.Error(), -1e-9);
+  EXPECT_GT(s.encoding.TotalVerbosity(), 0u);
+  // The backend also drives the adaptive strategy's bisection stage.
+  LogRSummary adaptive = CompressAdaptive(log, 4, opts);
+  EXPECT_LE(adaptive.encoding.NumComponents(), 4u);
+}
+
+TEST(PipelineTest, ErrorTargetHonorsExplicitBackend) {
+  QueryLog log = GroupedLog(4, 6, 19);
+  LogROptions opts;
+  opts.backend = "test_roundrobin";
+  if (ClustererRegistry::Instance().Find("test_roundrobin") == nullptr) {
+    ASSERT_TRUE(ClustererRegistry::Instance().Register(
+        "test_roundrobin", std::make_shared<RoundRobinClusterer>()));
+  }
+  // With a 0-nat target the search runs to max_clusters on the fake
+  // backend; with the default (empty) backend it rides hierarchical cuts.
+  LogRSummary fake = CompressToErrorTarget(log, 0.0, 3, opts);
+  EXPECT_EQ(fake.encoding.NumComponents(), 3u);
+  LogROptions plain;
+  LogRSummary hier = CompressToErrorTarget(log, 0.5, 100, plain);
+  EXPECT_LE(hier.encoding.Error(), 0.5 + 1e-9);
+}
+
+}  // namespace
+}  // namespace logr
