@@ -143,6 +143,44 @@ void BM_KMeansCompress(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeansCompress)->Arg(4)->Arg(16);
 
+const QueryLog& Synthetic50kLogSingleton() {
+  // ~50k queries over 1,000 distinct templates: big enough that the
+  // per-shard pipelines dominate the merge/reconcile overhead.
+  static const QueryLog* kLog = [] {
+    PocketDataOptions gen;
+    gen.num_distinct = 1000;
+    gen.total_queries = 50000;
+    return new QueryLog(LoadEntries(GeneratePocketDataLog(gen)).TakeLog());
+  }();
+  return *kLog;
+}
+
+void BM_ShardedCompress(benchmark::State& state) {
+  // Sharded vs monolithic compression (Arg = shard count; 1 is the
+  // monolithic baseline). Results are bit-deterministic for any thread
+  // count; wall-clock scales with LOGR_THREADS on multi-core hardware.
+  const QueryLog& log = Synthetic50kLogSingleton();
+  LogROptions opts;
+  opts.num_clusters = 16;
+  opts.n_init = 1;
+  opts.num_shards = static_cast<std::size_t>(state.range(0));
+  double error = 0.0;
+  for (auto _ : state) {
+    LogRSummary s = Compress(log, opts);
+    error = s.encoding.Error();
+    benchmark::DoNotOptimize(error);
+  }
+  state.counters["shards"] = static_cast<double>(opts.num_shards);
+  state.counters["error_nats"] = error;
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::Shared()->NumThreads());
+}
+BENCHMARK(BM_ShardedCompress)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_StreamingAdd(benchmark::State& state) {
   // Throughput of routing one query into a live streaming summary
   // (the online-monitoring path).

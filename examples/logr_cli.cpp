@@ -1,11 +1,18 @@
 // logr_cli — command-line front end for the LogR library.
 //
 //   logr_cli compress [--clusters K] [--method NAME] [--refine N]
+//                     [--shards S] [--shard-policy hash|range]
 //                     [--out FILE] [LOG]
 //       Reads SQL statements (one per line; an optional "COUNT<TAB>"
 //       prefix gives a multiplicity) from LOG or stdin, compresses them,
 //       and writes a summary file. --refine N reports the Error after
 //       refining each cluster with up to N extra patterns (Sec. 6.4).
+//       --shards S > 1 compresses shard-wise in parallel and merges the
+//       per-shard mixtures (bit-deterministic for any thread count).
+//   logr_cli merge [--clusters K] [--method NAME] [--out FILE] SUMMARY...
+//       Merges summary files written by compress (e.g. one per day or
+//       per shard) into one, reconciling down to K clusters when the
+//       pooled components exceed K ("compress each day, merge the week").
 //   logr_cli info SUMMARY
 //       Prints the summary's clusters, weights and verbosities.
 //   logr_cli estimate SUMMARY CLAUSE:TEXT [CLAUSE:TEXT ...]
@@ -41,7 +48,10 @@ using namespace logr;
 int Usage() {
   std::fprintf(stderr,
                "usage: logr_cli compress [--clusters K] [--method NAME] "
-               "[--refine N] [--out FILE] [LOG]\n"
+               "[--refine N] [--shards S] [--shard-policy hash|range] "
+               "[--out FILE] [LOG]\n"
+               "       logr_cli merge [--clusters K] [--method NAME] "
+               "[--out FILE] SUMMARY...\n"
                "       logr_cli info SUMMARY\n"
                "       logr_cli estimate SUMMARY CLAUSE:TEXT...\n"
                "       logr_cli visualize SUMMARY\n"
@@ -73,6 +83,8 @@ bool ParseClause(const std::string& label, FeatureClause* clause) {
 int RunCompress(int argc, char** argv) {
   std::size_t clusters = 8;
   std::size_t refine = 0;
+  std::size_t shards = 1;
+  ShardPolicy shard_policy = ShardPolicy::kHashDistinct;
   std::string method = "kmeans";
   std::string out_path = "summary.logr";
   std::string in_path;
@@ -94,6 +106,18 @@ int RunCompress(int argc, char** argv) {
         return 2;
       }
       refine = static_cast<std::size_t>(parsed);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      long long parsed;
+      if (!ParseCount(argv[++i], 1, &parsed)) {
+        std::fprintf(stderr, "--shards must be an integer >= 1\n");
+        return 2;
+      }
+      shards = static_cast<std::size_t>(parsed);
+    } else if (arg == "--shard-policy" && i + 1 < argc) {
+      if (!ParseShardPolicy(argv[++i], &shard_policy)) {
+        std::fprintf(stderr, "--shard-policy must be hash or range\n");
+        return 2;
+      }
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
@@ -148,8 +172,14 @@ int RunCompress(int argc, char** argv) {
   LogROptions opts;
   opts.num_clusters = clusters;
   opts.refine_patterns = refine;
+  opts.num_shards = shards;
+  opts.shard_policy = shard_policy;
   LogRSummary summary;
   if (method == "adaptive") {
+    if (shards > 1) {
+      std::fprintf(stderr, "--shards does not combine with adaptive yet\n");
+      return 2;
+    }
     summary = CompressAdaptive(log, clusters, opts);
   } else {
     if (!ParseClusteringMethod(method, &opts.method)) {
@@ -184,6 +214,68 @@ int RunCompress(int argc, char** argv) {
 
   std::string error;
   if (!WriteSummaryFile(out_path, log.vocabulary(), summary.encoding,
+                        &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int RunMerge(int argc, char** argv) {
+  std::size_t clusters = 0;  // 0 = keep every pooled component
+  std::string method = "kmeans";
+  std::string out_path = "merged.logr";
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--clusters" && i + 1 < argc) {
+      long long parsed;
+      if (!ParseCount(argv[++i], 1, &parsed)) {
+        std::fprintf(stderr, "--clusters must be an integer >= 1\n");
+        return 2;
+      }
+      clusters = static_cast<std::size_t>(parsed);
+    } else if (arg == "--method" && i + 1 < argc) {
+      method = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      inputs.push_back(arg);
+    } else {
+      return Usage();
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  LogROptions opts;
+  if (!ParseClusteringMethod(method, &opts.method)) {
+    if (ClustererRegistry::Instance().Find(method) == nullptr) {
+      std::fprintf(stderr, "unknown method %s\n", method.c_str());
+      return 2;
+    }
+    opts.backend = method;
+  }
+
+  std::vector<PersistedSummary> parts(inputs.size());
+  std::string error;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!ReadSummaryFile(inputs[i], &parts[i], &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+  }
+  PersistedSummary merged;
+  if (!MergeSummaries(parts, clusters, opts, &merged, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("merged %zu summaries: %zu clusters, %llu queries, error "
+              "%.4f nats, verbosity %zu\n",
+              parts.size(), merged.encoding.NumComponents(),
+              static_cast<unsigned long long>(merged.encoding.LogSize()),
+              merged.encoding.Error(), merged.encoding.TotalVerbosity());
+  if (!WriteSummaryFile(out_path, merged.vocabulary, merged.encoding,
                         &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
@@ -297,6 +389,7 @@ int RunDemo() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "compress") == 0) return RunCompress(argc, argv);
+  if (std::strcmp(argv[1], "merge") == 0) return RunMerge(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "estimate") == 0) return RunEstimate(argc, argv);
   if (std::strcmp(argv[1], "visualize") == 0) return RunVisualize(argc, argv);

@@ -1,14 +1,23 @@
 #include "core/logr_compressor.h"
 
+#include "core/sharded.h"
+#include "util/check.h"
+
 namespace logr {
 
 LogRSummary Compress(const QueryLog& log, const LogROptions& opts) {
+  if (opts.num_shards > 1) return CompressSharded(log, opts);
   return CompressionPipeline(log, opts).RunFixedK();
 }
 
 LogRSummary CompressToErrorTarget(const QueryLog& log, double error_target,
                                   std::size_t max_clusters,
                                   const LogROptions& opts) {
+  // Sharding covers the fixed-K strategy only; fail loudly rather than
+  // silently running one monolithic pipeline for a caller who asked for
+  // shards (the K search and the adaptive bisection are both global).
+  LOGR_CHECK_MSG(opts.num_shards <= 1,
+                 "num_shards > 1 is only supported by Compress");
   LogROptions o = opts;
   if (o.backend.empty()) {
     // Historic contract: the K search rides hierarchical clustering's
@@ -21,6 +30,8 @@ LogRSummary CompressToErrorTarget(const QueryLog& log, double error_target,
 
 LogRSummary CompressAdaptive(const QueryLog& log, std::size_t num_clusters,
                              const LogROptions& opts) {
+  LOGR_CHECK_MSG(opts.num_shards <= 1,
+                 "num_shards > 1 is only supported by Compress");
   return CompressionPipeline(log, opts).RunAdaptive(num_clusters);
 }
 

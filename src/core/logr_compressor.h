@@ -18,7 +18,10 @@
 namespace logr {
 
 /// Compresses `log` into a naive mixture encoding with `opts.num_clusters`
-/// partitions.
+/// partitions. When opts.num_shards > 1 the log is compressed shard-wise
+/// (one pipeline per shard, merged and reconciled back to num_clusters;
+/// see core/sharded.h) with bit-deterministic results for any thread
+/// count and shard order.
 LogRSummary Compress(const QueryLog& log, const LogROptions& opts);
 
 /// Grows K until the generalized Reproduction Error drops to

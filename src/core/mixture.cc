@@ -1,33 +1,203 @@
 #include "core/mixture.h"
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "maxent/entropy.h"
 #include "util/check.h"
 
 namespace logr {
 
+namespace {
+
+double SafeRatio(std::uint64_t count, std::uint64_t total) {
+  return total == 0 ? 0.0
+                    : static_cast<double>(count) / static_cast<double>(total);
+}
+
+/// Canonical component order: descending log size, then lexicographic
+/// support, marginals, and weight. Any two components that compare equal
+/// are interchangeable, so sorting by this key makes merges independent
+/// of the order their parts arrived in.
+bool CanonicalLess(const MixtureComponent& a, const MixtureComponent& b) {
+  if (a.encoding.LogSize() != b.encoding.LogSize()) {
+    return a.encoding.LogSize() > b.encoding.LogSize();
+  }
+  if (a.encoding.features() != b.encoding.features()) {
+    return a.encoding.features() < b.encoding.features();
+  }
+  if (a.encoding.marginals() != b.encoding.marginals()) {
+    return a.encoding.marginals() < b.encoding.marginals();
+  }
+  // Distinct member multisets can share support and marginals but differ
+  // in entropy — without this tiebreak such components would keep their
+  // arrival order and leak the shard order into the result.
+  if (a.encoding.EmpiricalEntropy() != b.encoding.EmpiricalEntropy()) {
+    return a.encoding.EmpiricalEntropy() < b.encoding.EmpiricalEntropy();
+  }
+  return a.weight < b.weight;
+}
+
+/// Closed-form weighted-Error contribution of fusing `group` into one
+/// component of a mixture over `grand_total` queries — the same math
+/// MergeComponents materializes, minus the member bookkeeping, with
+/// deterministic (sorted-feature) accumulation so reconcile decisions
+/// never depend on hash-map iteration order.
+double FusedErrorContribution(const std::vector<const MixtureComponent*>& group,
+                              std::uint64_t grand_total) {
+  std::uint64_t n = 0;
+  for (const MixtureComponent* c : group) n += c->encoding.LogSize();
+  if (n == 0 || grand_total == 0) return 0.0;
+  std::map<FeatureId, double> marginal;
+  double empirical = 0.0;
+  for (const MixtureComponent* c : group) {
+    const double share = SafeRatio(c->encoding.LogSize(), n);
+    if (share <= 0.0) continue;
+    const auto& features = c->encoding.features();
+    const auto& values = c->encoding.marginals();
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      marginal[features[i]] += share * values[i];
+    }
+    empirical += share * c->encoding.EmpiricalEntropy();
+    empirical -= share * std::log(share);
+  }
+  double maxent = 0.0;
+  for (const auto& [f, p] : marginal) {
+    maxent += BinaryEntropy(std::min(p, 1.0));
+  }
+  // Overlapping member populations overestimate the union's entropy
+  // (the grouping formula is exact only for disjoint parts); clamp so
+  // the cost stays a valid non-negative divergence.
+  return SafeRatio(n, grand_total) * std::max(0.0, maxent - empirical);
+}
+
+}  // namespace
+
+void ComponentAccumulator::Add(const FeatureVec& q, std::uint64_t count) {
+  LOGR_CHECK(count > 0);
+  total_ += count;
+  for (FeatureId f : q.ids) feature_counts_[f] += count;
+  auto [it, inserted] =
+      members_.try_emplace(q.HashKey(), std::make_pair(q, count));
+  if (!inserted) it->second.second += count;
+}
+
+double ComponentAccumulator::MarginalSquaredDistance(
+    const FeatureVec& q) const {
+  // ||q - p||^2 over the union of q's features and the component's
+  // support: features of q contribute (1 - p_f)^2, support features
+  // absent from q contribute p_f^2.
+  double acc = 0.0;
+  for (const auto& [f, c] : feature_counts_) {
+    double p = SafeRatio(c, total_);
+    acc += p * p;
+  }
+  for (FeatureId f : q.ids) {
+    auto it = feature_counts_.find(f);
+    double p = it == feature_counts_.end() ? 0.0 : SafeRatio(it->second, total_);
+    acc -= p * p;                  // remove the support term...
+    acc += (1.0 - p) * (1.0 - p);  // ...and add the presence term
+  }
+  return acc;
+}
+
+double ComponentAccumulator::ReproductionError() const {
+  if (total_ == 0) return 0.0;
+  double maxent = 0.0;
+  for (const auto& [f, c] : feature_counts_) {
+    maxent += BinaryEntropy(SafeRatio(c, total_));
+  }
+  double empirical = 0.0;
+  for (const auto& [key, member] : members_) {
+    double p = SafeRatio(member.second, total_);
+    if (p > 0.0) empirical -= p * std::log(p);
+  }
+  return maxent - empirical;
+}
+
+std::vector<std::pair<FeatureVec, std::uint64_t>>
+ComponentAccumulator::SortedMembers() const {
+  std::vector<std::pair<FeatureVec, std::uint64_t>> out;
+  out.reserve(members_.size());
+  for (const auto& [key, member] : members_) out.push_back(member);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+NaiveEncoding ComponentAccumulator::Finalize() const {
+  std::vector<FeatureId> features;
+  features.reserve(feature_counts_.size());
+  for (const auto& [f, c] : feature_counts_) {
+    if (c > 0) features.push_back(f);
+  }
+  std::sort(features.begin(), features.end());
+  std::vector<double> marginals;
+  marginals.reserve(features.size());
+  for (FeatureId f : features) {
+    marginals.push_back(SafeRatio(feature_counts_.at(f), total_));
+  }
+  double empirical = 0.0;
+  for (const auto& [key, member] : members_) {
+    double p = SafeRatio(member.second, total_);
+    if (p > 0.0) empirical -= p * std::log(p);
+  }
+  return NaiveEncoding::FromMarginals(std::move(features),
+                                      std::move(marginals), empirical, total_);
+}
+
+MixtureComponent ComponentAccumulator::FinalizeComponent(
+    std::uint64_t grand_total) const {
+  MixtureComponent out;
+  out.weight = SafeRatio(total_, grand_total);
+  out.encoding = Finalize();
+  return out;
+}
+
 NaiveMixtureEncoding NaiveMixtureEncoding::FromPartition(
-    const QueryLog& log, const std::vector<int>& assignment, std::size_t k) {
+    const QueryLog& log, const std::vector<int>& assignment, std::size_t k,
+    ThreadPool* pool) {
   LOGR_CHECK(assignment.size() == log.NumDistinct());
-  NaiveMixtureEncoding out;
   const double total = static_cast<double>(log.TotalQueries());
   LOGR_CHECK(total > 0.0);
 
-  for (std::size_t c = 0; c < k; ++c) {
+  // Serial membership pass (index order fixes the accumulation order),
+  // then the per-component encodings build in parallel: each component
+  // writes only its own slot, so the schedule never changes a bit.
+  std::vector<std::vector<std::size_t>> members(k);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(assignment[i]);
+    if (c >= k) continue;  // out-of-range labels are ignored, as before
+    members[c].push_back(i);
+  }
+
+  std::vector<MixtureComponent> slots(k);
+  ParallelFor(pool, 0, k, [&](std::size_t c) {
+    if (members[c].empty()) return;  // empty clusters are dropped
     MixtureComponent comp;
+    comp.members = std::move(members[c]);
     std::vector<FeatureVec> vecs;
     std::vector<double> weights;
+    vecs.reserve(comp.members.size());
+    weights.reserve(comp.members.size());
     std::uint64_t count = 0;
-    for (std::size_t i = 0; i < assignment.size(); ++i) {
-      if (static_cast<std::size_t>(assignment[i]) != c) continue;
-      comp.members.push_back(i);
+    for (std::size_t i : comp.members) {
       vecs.push_back(log.Vector(i));
       weights.push_back(static_cast<double>(log.Multiplicity(i)));
       count += log.Multiplicity(i);
     }
-    if (comp.members.empty()) continue;  // empty clusters are dropped
     comp.weight = static_cast<double>(count) / total;
     comp.encoding =
         NaiveEncoding::FromWeighted(vecs, weights, log.NumFeatures(), count);
-    out.components_.push_back(std::move(comp));
+    slots[c] = std::move(comp);
+  });
+
+  NaiveMixtureEncoding out;
+  out.components_.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (slots[c].members.empty()) continue;
+    out.components_.push_back(std::move(slots[c]));
   }
   return out;
 }
@@ -37,6 +207,217 @@ NaiveMixtureEncoding NaiveMixtureEncoding::FromComponents(
   NaiveMixtureEncoding out;
   out.components_ = std::move(components);
   return out;
+}
+
+MixtureComponent NaiveMixtureEncoding::MergeComponents(
+    const std::vector<const MixtureComponent*>& group) {
+  MixtureComponent out;
+  std::uint64_t total = 0;
+  for (const MixtureComponent* c : group) {
+    LOGR_CHECK(c != nullptr);
+    total += c->encoding.LogSize();
+    out.weight += c->weight;
+  }
+
+  // Marginals: log-size-weighted average, accumulated in group order so
+  // the result is deterministic for a deterministic grouping.
+  std::unordered_map<FeatureId, double> marginal;
+  for (const MixtureComponent* c : group) {
+    const double share = SafeRatio(c->encoding.LogSize(), total);
+    if (share == 0.0) continue;
+    const auto& features = c->encoding.features();
+    const auto& values = c->encoding.marginals();
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      marginal[features[i]] += share * values[i];
+    }
+  }
+  std::vector<FeatureId> features;
+  features.reserve(marginal.size());
+  for (const auto& [f, p] : marginal) features.push_back(f);
+  std::sort(features.begin(), features.end());
+  std::vector<double> marginals;
+  marginals.reserve(features.size());
+  for (FeatureId f : features) marginals.push_back(marginal.at(f));
+
+  // Empirical entropy by the grouping property (exact for disjoint
+  // member populations): H(∪L_i) = Σ w_i·H(L_i) − Σ w_i·log w_i.
+  double empirical = 0.0;
+  for (const MixtureComponent* c : group) {
+    const double share = SafeRatio(c->encoding.LogSize(), total);
+    if (share <= 0.0) continue;
+    empirical += share * c->encoding.EmpiricalEntropy();
+    empirical -= share * std::log(share);
+  }
+
+  out.encoding = NaiveEncoding::FromMarginals(
+      std::move(features), std::move(marginals), empirical, total);
+  if (out.encoding.EmpiricalEntropy() > out.encoding.MaxEntEntropy()) {
+    // The grouping formula is exact only for disjoint member
+    // populations; an offline merge of overlapping summaries (shared
+    // templates across days) overestimates the union's entropy. Clamp
+    // to the max-ent entropy so Reproduction Error stays a valid
+    // non-negative divergence — marginals and counts are exact either
+    // way.
+    out.encoding = NaiveEncoding::FromMarginals(
+        out.encoding.features(), out.encoding.marginals(),
+        out.encoding.MaxEntEntropy(), total);
+  }
+  for (const MixtureComponent* c : group) {
+    out.members.insert(out.members.end(), c->members.begin(),
+                       c->members.end());
+  }
+  std::sort(out.members.begin(), out.members.end());
+  return out;
+}
+
+NaiveMixtureEncoding NaiveMixtureEncoding::Merge(
+    const std::vector<const NaiveMixtureEncoding*>& parts) {
+  std::uint64_t total = 0;
+  std::size_t count = 0;
+  for (const NaiveMixtureEncoding* part : parts) {
+    LOGR_CHECK(part != nullptr);
+    total += part->LogSize();
+    count += part->NumComponents();
+  }
+  std::vector<MixtureComponent> pooled;
+  pooled.reserve(count);
+  for (const NaiveMixtureEncoding* part : parts) {
+    for (std::size_t c = 0; c < part->NumComponents(); ++c) {
+      MixtureComponent comp = part->Component(c);
+      comp.weight = SafeRatio(comp.encoding.LogSize(), total);
+      pooled.push_back(std::move(comp));
+    }
+  }
+  std::stable_sort(pooled.begin(), pooled.end(), CanonicalLess);
+  return FromComponents(std::move(pooled));
+}
+
+NaiveMixtureEncoding NaiveMixtureEncoding::Reconcile(
+    std::size_t k, const Clusterer& clusterer,
+    const ClusterRequest& req) const {
+  LOGR_CHECK(k >= 1);
+  if (components_.size() <= k) return *this;
+
+  // Cluster the component centroids with log sizes as multiplicities.
+  // Clusterer backends consume binary vectors, so each centroid (the
+  // marginal vector) is thermometer-quantized: feature f with marginal p
+  // becomes the first ceil(p·Q) of Q unary levels, making the backend's
+  // distance approximate Q·L1 on the real-valued centroids instead of
+  // collapsing every non-zero marginal to 1.
+  constexpr std::size_t kQuantLevels = 8;
+  FeatureId max_feature = 0;
+  for (const MixtureComponent& c : components_) {
+    if (!c.encoding.features().empty()) {
+      max_feature = std::max(max_feature, c.encoding.features().back());
+    }
+  }
+  std::vector<FeatureVec> centroids;
+  std::vector<double> weights;
+  centroids.reserve(components_.size());
+  weights.reserve(components_.size());
+  for (const MixtureComponent& c : components_) {
+    std::vector<FeatureId> ids;
+    const auto& features = c.encoding.features();
+    const auto& marginals = c.encoding.marginals();
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      const auto levels = static_cast<std::size_t>(
+          std::ceil(marginals[i] * static_cast<double>(kQuantLevels)));
+      for (std::size_t j = 0; j < std::min(levels, kQuantLevels); ++j) {
+        ids.push_back(static_cast<FeatureId>(features[i] * kQuantLevels + j));
+      }
+    }
+    centroids.push_back(FeatureVec(std::move(ids)));
+    weights.push_back(static_cast<double>(c.encoding.LogSize()));
+  }
+  ClusterRequest r = req;
+  r.k = k;
+  r.num_features =
+      (static_cast<std::size_t>(max_feature) + 1) * kQuantLevels;
+  // The centroid set is tiny (S·K points), so extra k-means restarts are
+  // nearly free and buy grouping robustness.
+  r.n_init = std::max(r.n_init, 8);
+  std::vector<int> assignment = clusterer.Cluster(centroids, weights, r);
+  LOGR_CHECK(assignment.size() == components_.size());
+
+  std::vector<std::vector<const MixtureComponent*>> groups(k);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const std::size_t label = static_cast<std::size_t>(assignment[i]);
+    LOGR_CHECK(label < k);
+    groups[label].push_back(&components_[i]);
+  }
+
+  const std::uint64_t total = LogSize();
+
+  // Polish the backend's grouping with greedy reassignment against the
+  // exact mixture Error: the fused error of any candidate group has a
+  // closed form, so each component can be tested in every other group
+  // and moved where the total drops the most. Deterministic — fixed
+  // visit order, strict improvement threshold — and cheap (S·K
+  // components against K groups).
+  std::vector<double> cost(k);
+  for (std::size_t g = 0; g < k; ++g) {
+    cost[g] = FusedErrorContribution(groups[g], total);
+  }
+  constexpr int kMaxPasses = 16;
+  constexpr double kMinGain = 1e-12;
+  // The polish is O(P·K·|group|) per pass — fine for in-process pools
+  // (S·K components) but quadratic-ish for huge offline merges (a year
+  // of daily summaries). Past this bound, rely on the backend grouping
+  // alone; the ROADMAP records the incremental-delta version.
+  constexpr std::size_t kPolishLimit = 1024;
+  const int passes =
+      components_.size() <= kPolishLimit ? kMaxPasses : 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const MixtureComponent* comp = &components_[i];
+      std::size_t from = k;
+      for (std::size_t g = 0; g < k && from == k; ++g) {
+        if (std::find(groups[g].begin(), groups[g].end(), comp) !=
+            groups[g].end()) {
+          from = g;
+        }
+      }
+      std::vector<const MixtureComponent*> without = groups[from];
+      without.erase(std::find(without.begin(), without.end(), comp));
+      const double cost_without = FusedErrorContribution(without, total);
+
+      std::size_t best_to = from;
+      double best_gain = kMinGain;
+      double best_cost_to = 0.0;
+      for (std::size_t to = 0; to < k; ++to) {
+        if (to == from) continue;
+        std::vector<const MixtureComponent*> with = groups[to];
+        with.push_back(comp);
+        const double cost_with = FusedErrorContribution(with, total);
+        const double gain =
+            (cost[from] + cost[to]) - (cost_without + cost_with);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_to = to;
+          best_cost_to = cost_with;
+        }
+      }
+      if (best_to != from) {
+        groups[from] = std::move(without);
+        groups[best_to].push_back(comp);
+        cost[from] = cost_without;
+        cost[best_to] = best_cost_to;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  std::vector<MixtureComponent> fused;
+  fused.reserve(k);
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    MixtureComponent comp = MergeComponents(group);
+    comp.weight = SafeRatio(comp.encoding.LogSize(), total);
+    fused.push_back(std::move(comp));
+  }
+  std::stable_sort(fused.begin(), fused.end(), CanonicalLess);
+  return FromComponents(std::move(fused));
 }
 
 double NaiveMixtureEncoding::Error() const {

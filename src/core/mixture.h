@@ -1,12 +1,25 @@
 // Naive pattern mixture encodings (paper Section 5): the log is
 // partitioned, each partition is encoded naively, and encodings are
 // combined with weights w_i = |L_i| / |L|.
+//
+// This header is also the shared materialization point for every
+// compression path: batch (FromPartition), sharded (Merge + Reconcile
+// over per-shard mixtures), and streaming (ComponentAccumulator, whose
+// Finalize produces the same NaiveEncoding a batch fit would). Merging
+// is exact whenever the merged parts encode disjoint query populations,
+// which every shard policy and streaming split maintains: marginals
+// combine as log-size-weighted averages and the empirical entropy obeys
+// the grouping property H(∪L_i) = Σ w_i·H(L_i) − Σ w_i·log w_i.
 #ifndef LOGR_CORE_MIXTURE_H_
 #define LOGR_CORE_MIXTURE_H_
 
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "cluster/clusterer.h"
 #include "core/naive_encoding.h"
+#include "util/thread_pool.h"
 #include "workload/query_log.h"
 
 namespace logr {
@@ -17,20 +30,92 @@ struct MixtureComponent {
   std::vector<std::size_t> members;  // distinct-vector indices of the log
 };
 
+/// Mutable accumulator for one mixture component: the shared component
+/// representation behind the streaming and split paths. Tracks the
+/// multiset of distinct vectors plus feature occurrence counts, so the
+/// routed queries' weights, marginals, and entropies stay exact, and
+/// Finalize() materializes the same NaiveEncoding a batch fit of the
+/// accumulated sub-log would produce.
+class ComponentAccumulator {
+ public:
+  /// Routes `count` copies of `q` into the accumulator.
+  void Add(const FeatureVec& q, std::uint64_t count = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t NumDistinct() const { return members_.size(); }
+
+  /// ||q - p||² between the 0/1 vector q and the component centroid (the
+  /// marginal vector), over the union of q's features and the support.
+  double MarginalSquaredDistance(const FeatureVec& q) const;
+
+  /// Exact Reproduction Error e(E) of the accumulated sub-log.
+  double ReproductionError() const;
+
+  /// The accumulated (vector, count) multiset in canonical (sorted
+  /// vector) order — a deterministic input for split clustering
+  /// regardless of hash-map iteration order.
+  std::vector<std::pair<FeatureVec, std::uint64_t>> SortedMembers() const;
+
+  /// The naive encoding of everything accumulated so far.
+  NaiveEncoding Finalize() const;
+
+  /// Finalize() wrapped as a mixture component weighted against
+  /// `grand_total` queries (members are left empty: the accumulator has
+  /// no global distinct-index space).
+  MixtureComponent FinalizeComponent(std::uint64_t grand_total) const;
+
+ private:
+  // Distinct vectors with counts, keyed by FeatureVec::HashKey().
+  std::unordered_map<std::string, std::pair<FeatureVec, std::uint64_t>>
+      members_;
+  // Feature occurrence counts (marginal numerators).
+  std::unordered_map<FeatureId, std::uint64_t> feature_counts_;
+  std::uint64_t total_ = 0;
+};
+
 class NaiveMixtureEncoding {
  public:
   NaiveMixtureEncoding() = default;
 
   /// Builds the mixture over a clustering `assignment` of the log's
-  /// distinct vectors (values in [0, k)).
+  /// distinct vectors (values in [0, k)). Components encode in parallel
+  /// across `pool` (nullptr = serial); the result is bit-identical for
+  /// any pool size because each component accumulates in index order.
   static NaiveMixtureEncoding FromPartition(const QueryLog& log,
                                             const std::vector<int>& assignment,
-                                            std::size_t k);
+                                            std::size_t k,
+                                            ThreadPool* pool = nullptr);
 
   /// Assembles a mixture from pre-built components (deserialization or
   /// incremental construction). Weights should sum to ~1.
   static NaiveMixtureEncoding FromComponents(
       std::vector<MixtureComponent> components);
+
+  /// Fuses a group of components into a single component. Exact when the
+  /// group's members encode disjoint query populations (see the header
+  /// comment); the fused weight is the group's weight sum and members
+  /// are unioned in ascending order. For overlapping populations the
+  /// marginals and counts stay exact, while the entropy estimate is
+  /// clamped so Reproduction Error remains a non-negative divergence.
+  static MixtureComponent MergeComponents(
+      const std::vector<const MixtureComponent*>& group);
+
+  /// Unions the component sets of `parts` into one mixture over the
+  /// combined log. Component weights are recomputed as |L_i| / Σ|L| from
+  /// the component log sizes, and the pooled components are put in
+  /// canonical order, so the result is independent of the order of
+  /// `parts` (shard order, summary-file order).
+  static NaiveMixtureEncoding Merge(
+      const std::vector<const NaiveMixtureEncoding*>& parts);
+
+  /// Reconcile step of a sharded compression: re-clusters the components
+  /// down to at most `k` by running `clusterer` over the component
+  /// centroids' feature supports with component log sizes as
+  /// multiplicities, then fusing each group with MergeComponents. A
+  /// mixture with <= k components is returned unchanged, so reconcile is
+  /// exact (the identity) whenever no pooling is needed.
+  NaiveMixtureEncoding Reconcile(std::size_t k, const Clusterer& clusterer,
+                                 const ClusterRequest& req) const;
 
   std::size_t NumComponents() const { return components_.size(); }
   const MixtureComponent& Component(std::size_t i) const {

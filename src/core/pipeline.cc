@@ -38,6 +38,26 @@ bool ParseClusteringMethod(const std::string& name, ClusteringMethod* out) {
   return true;
 }
 
+const char* ShardPolicyName(ShardPolicy p) {
+  switch (p) {
+    case ShardPolicy::kHashDistinct: return "hash";
+    case ShardPolicy::kContiguousRange: return "range";
+  }
+  return "?";
+}
+
+bool ParseShardPolicy(const std::string& name, ShardPolicy* out) {
+  LOGR_CHECK(out != nullptr);
+  if (name == "hash") {
+    *out = ShardPolicy::kHashDistinct;
+  } else if (name == "range") {
+    *out = ShardPolicy::kContiguousRange;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 ClusterRequest PipelineContext::Request(std::size_t k) const {
   ClusterRequest req;
   req.k = k;
@@ -84,16 +104,18 @@ LogRSummary CompressionPipeline::EncodeStage(std::vector<int> assignment,
                                              std::size_t k) {
   LogRSummary out;
   out.assignment = std::move(assignment);
-  out.encoding =
-      NaiveMixtureEncoding::FromPartition(*ctx_.log, out.assignment, k);
+  out.encoding = NaiveMixtureEncoding::FromPartition(*ctx_.log,
+                                                     out.assignment, k,
+                                                     ctx_.pool);
   out.refined_error = out.encoding.Error();
   out.cluster_seconds = cluster_seconds_;
   out.total_seconds = ctx_.timer.ElapsedSeconds();
   return out;
 }
 
-void CompressionPipeline::RefineStage(LogRSummary* summary) {
-  const std::size_t budget = ctx_.opts.refine_patterns;
+void RefineSummary(const QueryLog& log, const LogROptions& opts,
+                   LogRSummary* summary) {
+  const std::size_t budget = opts.refine_patterns;
   if (budget == 0) return;
   double refined = 0.0;
   summary->component_patterns.assign(summary->encoding.NumComponents(), {});
@@ -104,7 +126,7 @@ void CompressionPipeline::RefineStage(LogRSummary* summary) {
       refined += comp.weight * naive_err;
       continue;
     }
-    QueryLog sublog = ctx_.log->Subset(comp.members);
+    QueryLog sublog = log.Subset(comp.members);
     std::vector<double> row_weights;
     row_weights.reserve(sublog.NumDistinct());
     for (std::size_t i = 0; i < sublog.NumDistinct(); ++i) {
@@ -146,6 +168,11 @@ void CompressionPipeline::RefineStage(LogRSummary* summary) {
     summary->component_patterns[c] = ref.retained_patterns();
   }
   summary->refined_error = refined;
+}
+
+void CompressionPipeline::RefineStage(LogRSummary* summary) {
+  if (ctx_.opts.refine_patterns == 0) return;
+  RefineSummary(*ctx_.log, ctx_.opts, summary);
   summary->total_seconds = ctx_.timer.ElapsedSeconds();
 }
 
@@ -189,7 +216,7 @@ LogRSummary CompressionPipeline::RunAdaptive(std::size_t num_clusters) {
 
   while (k < num_clusters) {
     NaiveMixtureEncoding current =
-        NaiveMixtureEncoding::FromPartition(log, assignment, k);
+        NaiveMixtureEncoding::FromPartition(log, assignment, k, ctx_.pool);
     // Pick the splittable cluster with the largest weighted error.
     double worst_err = 0.0;
     int worst = -1;

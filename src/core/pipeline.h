@@ -43,6 +43,20 @@ const char* ClusteringMethodName(ClusteringMethod m);
 /// Returns false (leaving `*out` untouched) for unknown names.
 bool ParseClusteringMethod(const std::string& name, ClusteringMethod* out);
 
+/// How a ShardedCompressor partitions a log's distinct vectors into
+/// shards (core/sharded.h). Both policies assign every distinct vector
+/// to exactly one shard, so per-shard mixtures merge exactly.
+enum class ShardPolicy {
+  kHashDistinct,      // stable hash of the distinct vector ("hash")
+  kContiguousRange,   // equal contiguous ranges of distinct index ("range")
+};
+
+/// CLI name of `p` ("hash" / "range").
+const char* ShardPolicyName(ShardPolicy p);
+
+/// Inverse of ShardPolicyName. Returns false for unknown names.
+bool ParseShardPolicy(const std::string& name, ShardPolicy* out);
+
 struct LogROptions {
   ClusteringMethod method = ClusteringMethod::kKMeansEuclidean;
   /// When non-empty, overrides `method` with any name registered in
@@ -60,6 +74,13 @@ struct LogROptions {
   /// When > 0, the refine stage keeps up to this many corr_rank-ranked
   /// patterns per mixture component and reports the refined Error.
   std::size_t refine_patterns = 0;
+  /// When > 1, Compress routes through ShardedCompressor: the log is
+  /// split into this many shards, one pipeline runs per shard, and the
+  /// per-shard mixtures are merged and reconciled back to num_clusters
+  /// (core/sharded.h). Results are bit-deterministic for any thread
+  /// count and shard order.
+  std::size_t num_shards = 1;
+  ShardPolicy shard_policy = ShardPolicy::kHashDistinct;
 };
 
 struct LogRSummary {
@@ -73,6 +94,14 @@ struct LogRSummary {
   /// Retained extra patterns per component (empty unless refined).
   std::vector<std::vector<FeatureVec>> component_patterns;
 };
+
+/// Mines + ranks extra patterns per component of `summary` against
+/// `log` and records the refined Error (Sec. 6.4). No-op unless
+/// opts.refine_patterns > 0. A free function so callers that already
+/// hold a finished summary (e.g. the sharded merge path) don't pay the
+/// pipeline constructor's distinct-vector caching.
+void RefineSummary(const QueryLog& log, const LogROptions& opts,
+                   LogRSummary* summary);
 
 /// Shared state threaded through the pipeline stages.
 struct PipelineContext {

@@ -1,5 +1,7 @@
 #include "core/serialization.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -102,7 +104,6 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
     }
   }
   std::vector<MixtureComponent> components;
-  components.reserve(n_clusters);
   for (std::size_t c = 0; c < n_clusters; ++c) {
     if (!next_line(&line)) return Fail(error, "truncated cluster header");
     std::istringstream ls(line);
@@ -114,10 +115,23 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
         tag != "cluster") {
       return Fail(error, "malformed cluster line: " + line);
     }
+    // The negated comparisons also reject NaN, which a plain
+    // `p < 0.0 || p > 1.0` silently accepts.
+    if (!(weight >= 0.0 && weight <= 1.0 + 1e-9)) {
+      return Fail(error, "cluster weight outside [0,1]: " + line);
+    }
+    if (!(empirical >= 0.0) || !std::isfinite(empirical)) {
+      return Fail(error, "cluster entropy not finite/non-negative: " + line);
+    }
+    if (n_marginals > n_features) {
+      return Fail(error, "cluster claims more marginals than features: " +
+                             line);
+    }
     std::vector<FeatureId> features;
     std::vector<double> marginals;
     features.reserve(n_marginals);
     marginals.reserve(n_marginals);
+    std::vector<bool> seen(n_features, false);
     for (std::size_t i = 0; i < n_marginals; ++i) {
       if (!next_line(&line)) return Fail(error, "truncated marginal list");
       std::istringstream ms(line);
@@ -130,7 +144,11 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
       if (f >= n_features) {
         return Fail(error, "marginal references unknown feature id");
       }
-      if (p < 0.0 || p > 1.0) {
+      if (seen[f]) {
+        return Fail(error, "duplicate feature id in cluster: " + line);
+      }
+      seen[f] = true;
+      if (!(p >= 0.0 && p <= 1.0)) {
         return Fail(error, "marginal out of [0,1]: " + line);
       }
       features.push_back(f);
@@ -163,6 +181,75 @@ bool ReadSummaryFile(const std::string& path, PersistedSummary* summary,
   std::ifstream in(path);
   if (!in) return Fail(error, "cannot open for reading: " + path);
   return ReadSummary(&in, summary, error);
+}
+
+bool MergeSummaries(const std::vector<PersistedSummary>& parts,
+                    std::size_t max_components, const LogROptions& opts,
+                    PersistedSummary* out, std::string* error) {
+  if (parts.empty()) return Fail(error, "nothing to merge");
+  const std::string& name =
+      opts.backend.empty() ? ClusteringMethodName(opts.method) : opts.backend;
+  const Clusterer* clusterer = ClustererRegistry::Instance().Find(name);
+  if (clusterer == nullptr) {
+    return Fail(error, "unknown clustering backend: " + name);
+  }
+
+  // Union the codebooks and rebuild each component's encoding in the
+  // merged id space (feature lists stay sorted ascending).
+  out->vocabulary = Vocabulary();
+  std::vector<NaiveMixtureEncoding> remapped;
+  remapped.reserve(parts.size());
+  for (const PersistedSummary& part : parts) {
+    std::vector<FeatureId> id_map(part.vocabulary.size());
+    for (FeatureId f = 0; f < part.vocabulary.size(); ++f) {
+      id_map[f] = out->vocabulary.Intern(part.vocabulary.Get(f));
+    }
+    std::vector<MixtureComponent> comps;
+    comps.reserve(part.encoding.NumComponents());
+    for (std::size_t c = 0; c < part.encoding.NumComponents(); ++c) {
+      const MixtureComponent& comp = part.encoding.Component(c);
+      std::vector<std::pair<FeatureId, double>> pairs;
+      pairs.reserve(comp.encoding.features().size());
+      for (std::size_t i = 0; i < comp.encoding.features().size(); ++i) {
+        pairs.emplace_back(id_map[comp.encoding.features()[i]],
+                           comp.encoding.marginals()[i]);
+      }
+      std::sort(pairs.begin(), pairs.end());
+      std::vector<FeatureId> features;
+      std::vector<double> marginals;
+      features.reserve(pairs.size());
+      marginals.reserve(pairs.size());
+      for (const auto& [f, p] : pairs) {
+        features.push_back(f);
+        marginals.push_back(p);
+      }
+      MixtureComponent rebuilt;
+      rebuilt.weight = comp.weight;
+      rebuilt.encoding = NaiveEncoding::FromMarginals(
+          std::move(features), std::move(marginals),
+          comp.encoding.EmpiricalEntropy(), comp.encoding.LogSize());
+      comps.push_back(std::move(rebuilt));
+    }
+    remapped.push_back(
+        NaiveMixtureEncoding::FromComponents(std::move(comps)));
+  }
+
+  std::vector<const NaiveMixtureEncoding*> ptrs;
+  ptrs.reserve(remapped.size());
+  for (const NaiveMixtureEncoding& e : remapped) ptrs.push_back(&e);
+  NaiveMixtureEncoding merged = NaiveMixtureEncoding::Merge(ptrs);
+
+  if (max_components > 0 && merged.NumComponents() > max_components) {
+    ClusterRequest req;
+    req.k = max_components;
+    req.num_features = out->vocabulary.size();
+    req.seed = opts.seed;
+    req.n_init = opts.n_init;
+    req.pool = opts.pool;
+    merged = merged.Reconcile(max_components, *clusterer, req);
+  }
+  out->encoding = std::move(merged);
+  return true;
 }
 
 }  // namespace logr

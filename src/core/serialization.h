@@ -18,8 +18,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/mixture.h"
+#include "core/pipeline.h"
 #include "workload/query_log.h"
 
 namespace logr {
@@ -46,6 +48,19 @@ bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
                       std::string* error);
 bool ReadSummaryFile(const std::string& path, PersistedSummary* summary,
                      std::string* error);
+
+/// Merges loaded summaries (one per shard, day, or node) into one:
+/// unions the codebooks, remaps feature ids, pools the components
+/// (NaiveMixtureEncoding::Merge, exact for summaries of disjoint query
+/// populations), and — when `max_components` > 0 and the pool exceeds
+/// it — reconciles down with the clustering backend selected by `opts`
+/// (method/backend, seed, n_init). `max_components` == 0 keeps every
+/// pooled component. Returns false (and fills `error`) on an unknown
+/// backend or empty input. Component order in the result is canonical,
+/// so the merge is independent of the order of `parts`.
+bool MergeSummaries(const std::vector<PersistedSummary>& parts,
+                    std::size_t max_components, const LogROptions& opts,
+                    PersistedSummary* out, std::string* error);
 
 }  // namespace logr
 

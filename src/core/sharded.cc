@@ -1,0 +1,165 @@
+#include "core/sharded.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace logr {
+
+namespace {
+
+/// FNV-1a over the vector's id bytes: a stable hash (unlike std::hash)
+/// so shard membership never varies across runs, platforms, or library
+/// versions.
+std::uint64_t StableVectorHash(const FeatureVec& v) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (FeatureId f : v.ids) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= static_cast<std::uint64_t>((f >> shift) & 0xffu);
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// Degenerate pool for the per-shard pipelines: the shard loop already
+/// occupies the shared pool's workers, and ThreadPool::ParallelFor is
+/// not reentrant from inside a worker.
+ThreadPool* SerialPool() {
+  static ThreadPool* pool = new ThreadPool(0);
+  return pool;
+}
+
+}  // namespace
+
+ShardedCompressor::ShardedCompressor(const QueryLog& log,
+                                     const LogROptions& opts)
+    : log_(&log), opts_(opts) {
+  LOGR_CHECK(log.NumDistinct() > 0);
+  LOGR_CHECK(opts.num_shards >= 1);
+}
+
+std::size_t ShardedCompressor::ClustersPerShard(const LogROptions& opts) {
+  return opts.num_shards > 1 ? 2 * opts.num_clusters : opts.num_clusters;
+}
+
+std::vector<std::vector<std::size_t>> ShardedCompressor::PartitionIndices(
+    const QueryLog& log, std::size_t num_shards, ShardPolicy policy) {
+  LOGR_CHECK(num_shards >= 1);
+  const std::size_t n = log.NumDistinct();
+  std::vector<std::vector<std::size_t>> shards(num_shards);
+  switch (policy) {
+    case ShardPolicy::kHashDistinct:
+      for (std::size_t i = 0; i < n; ++i) {
+        shards[StableVectorHash(log.Vector(i)) % num_shards].push_back(i);
+      }
+      break;
+    case ShardPolicy::kContiguousRange:
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const std::size_t lo = s * n / num_shards;
+        const std::size_t hi = (s + 1) * n / num_shards;
+        for (std::size_t i = lo; i < hi; ++i) shards[s].push_back(i);
+      }
+      break;
+  }
+  shards.erase(std::remove_if(shards.begin(), shards.end(),
+                              [](const std::vector<std::size_t>& s) {
+                                return s.empty();
+                              }),
+               shards.end());
+  return shards;
+}
+
+LogRSummary ShardedCompressor::Run() {
+  Stopwatch timer;
+  const QueryLog& log = *log_;
+  const std::vector<std::vector<std::size_t>> shards =
+      PartitionIndices(log, opts_.num_shards, opts_.shard_policy);
+  const std::size_t S = shards.size();
+
+  // Subset building is cheap relative to clustering; keep it serial so
+  // the shard logs exist before the pool fans out.
+  std::vector<QueryLog> shard_logs;
+  shard_logs.reserve(S);
+  for (const std::vector<std::size_t>& indices : shards) {
+    shard_logs.push_back(log.Subset(indices));
+  }
+
+  LogROptions shard_opts = opts_;
+  shard_opts.num_shards = 1;
+  shard_opts.pool = SerialPool();
+  shard_opts.refine_patterns = 0;  // refinement runs once, on the merge
+  LogROptions effective = opts_;
+  effective.num_shards = S;
+  shard_opts.num_clusters = ClustersPerShard(effective);
+
+  // One pipeline per shard, each writing only its own slot: the schedule
+  // never affects the result, so any thread count gives the same bits.
+  ThreadPool* pool = opts_.pool ? opts_.pool : ThreadPool::Shared();
+  std::vector<LogRSummary> results(S);
+  pool->ParallelForCoarse(0, S, [&](std::size_t s) {
+    results[s] = CompressionPipeline(shard_logs[s], shard_opts).RunFixedK();
+  });
+
+  // Pool the per-shard mixtures with members remapped to global distinct
+  // indices. Subset() preserves index order, so shard-local distinct i
+  // is global shards[s][i].
+  double shard_cluster_seconds = 0.0;
+  std::vector<NaiveMixtureEncoding> parts;
+  parts.reserve(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    shard_cluster_seconds += results[s].cluster_seconds;
+    std::vector<MixtureComponent> comps;
+    comps.reserve(results[s].encoding.NumComponents());
+    for (std::size_t c = 0; c < results[s].encoding.NumComponents(); ++c) {
+      MixtureComponent comp = results[s].encoding.Component(c);
+      for (std::size_t& m : comp.members) m = shards[s][m];
+      comps.push_back(std::move(comp));
+    }
+    parts.push_back(NaiveMixtureEncoding::FromComponents(std::move(comps)));
+  }
+  std::vector<const NaiveMixtureEncoding*> part_ptrs;
+  part_ptrs.reserve(S);
+  for (const NaiveMixtureEncoding& p : parts) part_ptrs.push_back(&p);
+  NaiveMixtureEncoding merged = NaiveMixtureEncoding::Merge(part_ptrs);
+
+  // Reconcile the pooled components down to the requested K with the
+  // same registry-selected backend the pipelines used.
+  const std::string& name = opts_.backend.empty()
+                                ? ClusteringMethodName(opts_.method)
+                                : opts_.backend;
+  const Clusterer* clusterer = ClustererRegistry::Instance().Find(name);
+  LOGR_CHECK_MSG(clusterer != nullptr, name.c_str());
+  const std::size_t k = std::max<std::size_t>(
+      1, std::min(opts_.num_clusters, log.NumDistinct()));
+  ClusterRequest req;
+  req.k = k;
+  req.num_features = log.NumFeatures();
+  req.seed = opts_.seed;
+  req.n_init = opts_.n_init;
+  req.pool = pool;
+  Stopwatch reconcile_timer;
+  LogRSummary out;
+  out.encoding = merged.Reconcile(k, *clusterer, req);
+  out.cluster_seconds =
+      shard_cluster_seconds + reconcile_timer.ElapsedSeconds();
+
+  out.assignment.assign(log.NumDistinct(), 0);
+  for (std::size_t c = 0; c < out.encoding.NumComponents(); ++c) {
+    for (std::size_t m : out.encoding.Component(c).members) {
+      out.assignment[m] = static_cast<int>(c);
+    }
+  }
+  out.refined_error = out.encoding.Error();
+
+  RefineSummary(log, opts_, &out);
+  out.total_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+LogRSummary CompressSharded(const QueryLog& log, const LogROptions& opts) {
+  return ShardedCompressor(log, opts).Run();
+}
+
+}  // namespace logr

@@ -1,85 +1,15 @@
 #include "core/streaming.h"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
 
 #include "cluster/kmeans.h"
-#include "maxent/entropy.h"
 #include "util/check.h"
 
 namespace logr {
 
-namespace {
-
-double Marginal(std::uint64_t count, std::uint64_t total) {
-  return total == 0 ? 0.0
-                    : static_cast<double>(count) /
-                          static_cast<double>(total);
-}
-
-}  // namespace
-
 StreamingCompressor::StreamingCompressor(StreamingOptions opts)
     : opts_(std::move(opts)) {
   LOGR_CHECK(opts_.max_clusters >= 1);
-}
-
-double StreamingCompressor::Component::MarginalSquaredDistance(
-    const FeatureVec& q) const {
-  // ||q - p||^2 over the union of q's features and the component's
-  // support: features of q contribute (1 - p_f)^2, support features
-  // absent from q contribute p_f^2.
-  double acc = 0.0;
-  double support_sq = 0.0;
-  for (const auto& [f, c] : feature_counts) {
-    double p = Marginal(c, total);
-    support_sq += p * p;
-  }
-  acc = support_sq;
-  for (FeatureId f : q.ids) {
-    auto it = feature_counts.find(f);
-    double p = it == feature_counts.end() ? 0.0 : Marginal(it->second, total);
-    acc -= p * p;             // remove the support term...
-    acc += (1.0 - p) * (1.0 - p);  // ...and add the presence term
-  }
-  return acc;
-}
-
-double StreamingCompressor::Component::ReproductionError() const {
-  if (total == 0) return 0.0;
-  double maxent = 0.0;
-  for (const auto& [f, c] : feature_counts) {
-    maxent += BinaryEntropy(Marginal(c, total));
-  }
-  double empirical = 0.0;
-  for (const auto& [key, member] : members) {
-    double p = Marginal(member.second, total);
-    if (p > 0.0) empirical -= p * std::log(p);
-  }
-  return maxent - empirical;
-}
-
-NaiveEncoding StreamingCompressor::Component::ToEncoding() const {
-  std::vector<FeatureId> features;
-  std::vector<double> marginals;
-  features.reserve(feature_counts.size());
-  for (const auto& [f, c] : feature_counts) {
-    if (c > 0) features.push_back(f);
-  }
-  std::sort(features.begin(), features.end());
-  marginals.reserve(features.size());
-  for (FeatureId f : features) {
-    marginals.push_back(Marginal(feature_counts.at(f), total));
-  }
-  double empirical = 0.0;
-  for (const auto& [key, member] : members) {
-    double p = Marginal(member.second, total);
-    if (p > 0.0) empirical -= p * std::log(p);
-  }
-  return NaiveEncoding::FromMarginals(std::move(features),
-                                      std::move(marginals), empirical,
-                                      total);
 }
 
 void StreamingCompressor::Add(const FeatureVec& q, std::uint64_t count) {
@@ -90,7 +20,7 @@ void StreamingCompressor::Add(const FeatureVec& q, std::uint64_t count) {
   std::size_t best = 0;
   double best_d = std::numeric_limits<double>::max();
   for (std::size_t c = 0; c < components_.size(); ++c) {
-    double d = components_[c].total == 0
+    double d = components_[c].total() == 0
                    ? static_cast<double>(q.size())
                    : components_[c].MarginalSquaredDistance(q);
     if (d < best_d) {
@@ -98,12 +28,7 @@ void StreamingCompressor::Add(const FeatureVec& q, std::uint64_t count) {
       best = c;
     }
   }
-  Component& comp = components_[best];
-  comp.total += count;
-  for (FeatureId f : q.ids) comp.feature_counts[f] += count;
-  auto [it, inserted] =
-      comp.members.try_emplace(q.HashKey(), std::make_pair(q, count));
-  if (!inserted) it->second.second += count;
+  components_[best].Add(q, count);
   total_ += count;
 
   since_split_check_ += count;
@@ -118,9 +43,10 @@ void StreamingCompressor::MaybeSplit() {
     double worst_score = opts_.split_threshold;
     std::size_t worst = components_.size();
     for (std::size_t c = 0; c < components_.size(); ++c) {
-      const Component& comp = components_[c];
-      if (comp.members.size() < 2 || total_ == 0) continue;
-      double weight = Marginal(comp.total, total_);
+      const ComponentAccumulator& comp = components_[c];
+      if (comp.NumDistinct() < 2 || total_ == 0) continue;
+      double weight = static_cast<double>(comp.total()) /
+                      static_cast<double>(total_);
       double score = weight * comp.ReproductionError();
       if (score > worst_score) {
         worst_score = score;
@@ -133,18 +59,19 @@ void StreamingCompressor::MaybeSplit() {
 }
 
 void StreamingCompressor::SplitComponent(std::size_t index) {
-  Component& source = components_[index];
+  // Canonical member order makes the bisection deterministic regardless
+  // of hash-map iteration order.
+  const std::vector<std::pair<FeatureVec, std::uint64_t>> members =
+      components_[index].SortedMembers();
   std::vector<FeatureVec> vecs;
   std::vector<double> weights;
-  std::vector<std::uint64_t> counts;
+  vecs.reserve(members.size());
+  weights.reserve(members.size());
   FeatureId max_feature = 0;
-  for (const auto& [key, member] : source.members) {
-    vecs.push_back(member.first);
-    weights.push_back(static_cast<double>(member.second));
-    counts.push_back(member.second);
-    if (!member.first.ids.empty()) {
-      max_feature = std::max(max_feature, member.first.ids.back());
-    }
+  for (const auto& [vec, count] : members) {
+    vecs.push_back(vec);
+    weights.push_back(static_cast<double>(count));
+    if (!vec.ids.empty()) max_feature = std::max(max_feature, vec.ids.back());
   }
   KMeansOptions km;
   km.k = 2;
@@ -160,36 +87,37 @@ void StreamingCompressor::SplitComponent(std::size_t index) {
   }
   if (!has_zero || !has_one) return;  // degenerate; leave intact
 
-  Component left, right;
-  for (std::size_t i = 0; i < vecs.size(); ++i) {
-    Component& dst = split.assignment[i] == 0 ? left : right;
-    dst.total += counts[i];
-    for (FeatureId f : vecs[i].ids) dst.feature_counts[f] += counts[i];
-    dst.members.emplace(vecs[i].HashKey(),
-                        std::make_pair(vecs[i], counts[i]));
+  ComponentAccumulator left, right;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    (split.assignment[i] == 0 ? left : right)
+        .Add(members[i].first, members[i].second);
   }
   components_[index] = std::move(left);
   components_.push_back(std::move(right));
 }
 
+std::vector<std::pair<FeatureVec, std::uint64_t>>
+StreamingCompressor::ComponentMembers(std::size_t i) const {
+  LOGR_CHECK(i < components_.size());
+  return components_[i].SortedMembers();
+}
+
 NaiveMixtureEncoding StreamingCompressor::Snapshot() const {
   std::vector<MixtureComponent> out;
   out.reserve(components_.size());
-  for (const Component& comp : components_) {
-    if (comp.total == 0) continue;
-    MixtureComponent mc;
-    mc.weight = Marginal(comp.total, total_);
-    mc.encoding = comp.ToEncoding();
-    out.push_back(std::move(mc));
+  for (const ComponentAccumulator& comp : components_) {
+    if (comp.total() == 0) continue;
+    out.push_back(comp.FinalizeComponent(total_));
   }
   return NaiveMixtureEncoding::FromComponents(std::move(out));
 }
 
 double StreamingCompressor::Error() const {
   double acc = 0.0;
-  for (const Component& comp : components_) {
-    if (comp.total == 0) continue;
-    acc += Marginal(comp.total, total_) * comp.ReproductionError();
+  for (const ComponentAccumulator& comp : components_) {
+    if (comp.total() == 0) continue;
+    acc += static_cast<double>(comp.total()) / static_cast<double>(total_) *
+           comp.ReproductionError();
   }
   return acc;
 }

@@ -3,21 +3,28 @@
 // frequency of query classes *as queries arrive*, without re-compressing
 // the backlog).
 //
-// StreamingCompressor keeps a naive mixture encoding incrementally:
-// each arriving query vector is routed to the component whose centroid
-// (the marginal vector) is nearest in expected squared distance, and
-// that component's marginals / counts are updated in O(#features of the
-// query + verbosity of the component). When a component's weighted
-// Reproduction-Error contribution exceeds `split_threshold`, it is
-// bisected with k-means — the streaming analogue of CompressAdaptive.
+// StreamingCompressor keeps a naive mixture encoding incrementally over
+// the shared component representation (core/mixture.h's
+// ComponentAccumulator — the same state the sharded and batch paths
+// materialize from): each arriving query vector is routed to the
+// component whose centroid (the marginal vector) is nearest in expected
+// squared distance, and that component's marginals / counts are updated
+// in O(#features of the query + verbosity of the component). When a
+// component's weighted Reproduction-Error contribution exceeds
+// `split_threshold`, it is bisected with k-means — the streaming
+// analogue of CompressAdaptive.
 //
-// Entropy bookkeeping is exact: each component tracks the multiset of
+// Entropy bookkeeping is exact: each accumulator tracks the multiset of
 // its distinct vectors, so the reported Error equals what a batch
-// rebuild would produce.
+// rebuild would produce, and Snapshot() materializes through the same
+// NaiveMixtureEncoding::FromComponents path as every other compressor.
+// Snapshots merge like any other mixture (NaiveMixtureEncoding::Merge),
+// so one stream per day / per node composes into a global summary.
 #ifndef LOGR_CORE_STREAMING_H_
 #define LOGR_CORE_STREAMING_H_
 
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/mixture.h"
 #include "workload/query_log.h"
@@ -49,28 +56,20 @@ class StreamingCompressor {
   std::size_t NumComponents() const { return components_.size(); }
   std::uint64_t TotalQueries() const { return total_; }
 
+  /// The (vector, count) multiset currently routed to component `i`, in
+  /// canonical order — the ground truth for batch-rebuild checks.
+  std::vector<std::pair<FeatureVec, std::uint64_t>> ComponentMembers(
+      std::size_t i) const;
+
   /// Exact generalized Reproduction Error of the current summary.
   double Error() const;
 
  private:
-  struct Component {
-    // Distinct vectors with counts (the partition's log).
-    std::unordered_map<std::string, std::pair<FeatureVec, std::uint64_t>>
-        members;
-    // Feature occurrence counts (marginal numerators).
-    std::unordered_map<FeatureId, std::uint64_t> feature_counts;
-    std::uint64_t total = 0;
-
-    double MarginalSquaredDistance(const FeatureVec& q) const;
-    double ReproductionError() const;
-    NaiveEncoding ToEncoding() const;
-  };
-
   void MaybeSplit();
   void SplitComponent(std::size_t index);
 
   StreamingOptions opts_;
-  std::vector<Component> components_;
+  std::vector<ComponentAccumulator> components_;
   std::uint64_t total_ = 0;
   std::uint64_t since_split_check_ = 0;
 };

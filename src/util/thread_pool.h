@@ -73,31 +73,24 @@ class ThreadPool {
 
     // Small contiguous blocks + an atomic cursor: dynamic load balancing
     // for skewed iterations (e.g. triangular distance loops).
-    const std::size_t block =
-        std::max<std::size_t>(1, n / (workers_.size() * 8));
-    auto job = std::make_shared<ForJob>();
-    job->next.store(begin);
-    job->begin = begin;
-    job->end = end;
-    job->block = block;
-    job->fn = &fn;
+    Dispatch(begin, end, std::max<std::size_t>(1, n / (workers_.size() * 8)),
+             fn);
+  }
 
-    const std::size_t helpers =
-        std::min(workers_.size(), (n + block - 1) / block);
-    job->pending.store(static_cast<long>(helpers));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (std::size_t t = 0; t < helpers; ++t) jobs_.push(job);
+  /// ParallelFor for coarse-grained iterations (e.g. one whole
+  /// compression pipeline per shard): always dispatches to the workers,
+  /// one index per block, even when the range is far below the inline
+  /// threshold. The determinism contract is the same — iterations write
+  /// to disjoint index-addressed slots. `fn` must not call back into
+  /// this pool (see ParallelFor's reentrancy note).
+  void ParallelForCoarse(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn) {
+    if (begin >= end) return;
+    if (workers_.empty()) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
     }
-    wake_.notify_all();
-
-    RunJob(*job);  // caller helps
-
-    {
-      std::unique_lock<std::mutex> lock(job->done_mu);
-      job->done_cv.wait(lock, [&] { return job->pending.load() == 0; });
-    }
-    if (job->error) std::rethrow_exception(job->error);
+    Dispatch(begin, end, /*block=*/1, fn);
   }
 
   /// Process-wide pool sized from the LOGR_THREADS environment variable,
@@ -124,6 +117,36 @@ class ThreadPool {
     std::condition_variable done_cv;
     std::exception_ptr error;  // first exception thrown by `fn`
   };
+
+  /// Queues [begin, end) in blocks of `block` and blocks until every
+  /// iteration completed (the caller participates as a worker).
+  void Dispatch(std::size_t begin, std::size_t end, std::size_t block,
+                const std::function<void(std::size_t)>& fn) {
+    const std::size_t n = end - begin;
+    auto job = std::make_shared<ForJob>();
+    job->next.store(begin);
+    job->begin = begin;
+    job->end = end;
+    job->block = block;
+    job->fn = &fn;
+
+    const std::size_t helpers =
+        std::min(workers_.size(), (n + block - 1) / block);
+    job->pending.store(static_cast<long>(helpers));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t t = 0; t < helpers; ++t) jobs_.push(job);
+    }
+    wake_.notify_all();
+
+    RunJob(*job);  // caller helps
+
+    {
+      std::unique_lock<std::mutex> lock(job->done_mu);
+      job->done_cv.wait(lock, [&] { return job->pending.load() == 0; });
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
 
   static std::size_t SharedSize() {
     if (const char* env = std::getenv("LOGR_THREADS")) {

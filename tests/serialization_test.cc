@@ -115,6 +115,92 @@ TEST(SerializationTest, RejectsUnknownFeatureReference) {
   EXPECT_FALSE(ReadSummary(&buffer, &loaded, &error));
 }
 
+TEST(SerializationTest, RejectsNaNAndInfiniteValues) {
+  // NaN passes a naive `p < 0 || p > 1` range check; the reader must
+  // reject it explicitly, in marginals and in the cluster header alike.
+  const char* cases[] = {
+      // NaN marginal.
+      "logr-summary v1\nfeatures 1\nf 0 a\nclusters 1\n"
+      "cluster 1.0 10 0.0 1\nm 0 nan\n",
+      // NaN weight.
+      "logr-summary v1\nfeatures 1\nf 0 a\nclusters 1\n"
+      "cluster nan 10 0.0 1\nm 0 0.5\n",
+      // Infinite empirical entropy.
+      "logr-summary v1\nfeatures 1\nf 0 a\nclusters 1\n"
+      "cluster 1.0 10 inf 1\nm 0 0.5\n",
+      // Negative empirical entropy.
+      "logr-summary v1\nfeatures 1\nf 0 a\nclusters 1\n"
+      "cluster 1.0 10 -0.5 1\nm 0 0.5\n",
+      // Weight above 1.
+      "logr-summary v1\nfeatures 1\nf 0 a\nclusters 1\n"
+      "cluster 2.5 10 0.0 1\nm 0 0.5\n",
+  };
+  for (const char* text : cases) {
+    std::stringstream buffer(text);
+    PersistedSummary loaded;
+    std::string error;
+    EXPECT_FALSE(ReadSummary(&buffer, &loaded, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(SerializationTest, RejectsDuplicateFeatureIdInCluster) {
+  std::stringstream buffer(
+      "logr-summary v1\n"
+      "features 2\n"
+      "f 0 a\n"
+      "f 0 b\n"
+      "clusters 1\n"
+      "cluster 1.0 10 0.0 2\n"
+      "m 1 0.5\n"
+      "m 1 0.25\n");
+  PersistedSummary loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSummary(&buffer, &loaded, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(SerializationTest, RejectsMoreMarginalsThanFeatures) {
+  std::stringstream buffer(
+      "logr-summary v1\n"
+      "features 1\n"
+      "f 0 a\n"
+      "clusters 1\n"
+      "cluster 1.0 10 0.0 99\n"
+      "m 0 0.5\n");
+  PersistedSummary loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSummary(&buffer, &loaded, &error));
+}
+
+TEST(SerializationTest, FuzzedInputNeverCrashesTheReader) {
+  // Mutate a valid summary at random positions: the reader must always
+  // return (accept or reject), never crash or hang.
+  QueryLog log = MakeLog();
+  LogROptions opts;
+  opts.num_clusters = 2;
+  LogRSummary summary = Compress(log, opts);
+  std::stringstream buffer;
+  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
+  const std::string valid = buffer.str();
+
+  Pcg32 rng(33);
+  const char charset[] = "0123456789 .-naif\nmcluster";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    const std::size_t edits = 1 + rng.NextBounded(8);
+    for (std::size_t e = 0; e < edits; ++e) {
+      std::size_t pos = rng.NextBounded(
+          static_cast<std::uint32_t>(mutated.size()));
+      mutated[pos] = charset[rng.NextBounded(sizeof(charset) - 1)];
+    }
+    std::stringstream in(mutated);
+    PersistedSummary loaded;
+    std::string error;
+    ReadSummary(&in, &loaded, &error);  // outcome free, crash forbidden
+  }
+}
+
 TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
   QueryLog log = MakeLog();
   LogRSummary summary = Compress(log, LogROptions());

@@ -138,6 +138,90 @@ TEST(StreamingTest, ComparableToBatchCompressionOnRealWorkload) {
   EXPECT_LT(stream.Error(), Compress(log, batch_opts).encoding.Error());
 }
 
+TEST(StreamingTest, SnapshotMatchesBatchRebuildPerComponent) {
+  // The streaming accumulator must materialize exactly what a batch fit
+  // of the same arrivals would: rebuild each component's sub-log from
+  // its routed members and compare encodings.
+  StreamingOptions opts;
+  opts.max_clusters = 8;
+  opts.split_threshold = 0.3;
+  opts.split_check_interval = 128;
+  StreamingCompressor stream(opts);
+  Pcg32 rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<FeatureId> ids;
+    FeatureId base = rng.NextBernoulli(0.5) ? 0 : 16;
+    ids.push_back(base);
+    for (FeatureId f = 1; f < 6; ++f) {
+      if (rng.NextBernoulli(0.4)) ids.push_back(base + f);
+    }
+    stream.Add(FeatureVec(std::move(ids)), 1 + rng.NextBounded(4));
+  }
+
+  NaiveMixtureEncoding snap = stream.Snapshot();
+  ASSERT_EQ(snap.NumComponents(), stream.NumComponents());
+  for (std::size_t c = 0; c < stream.NumComponents(); ++c) {
+    QueryLog sublog;
+    for (const auto& [vec, count] : stream.ComponentMembers(c)) {
+      sublog.Add(vec, count);
+    }
+    NaiveEncoding batch = NaiveEncoding::FromLog(sublog);
+    const NaiveEncoding& live = snap.Component(c).encoding;
+    EXPECT_EQ(live.LogSize(), batch.LogSize()) << c;
+    ASSERT_EQ(live.features(), batch.features()) << c;
+    for (std::size_t i = 0; i < live.marginals().size(); ++i) {
+      EXPECT_NEAR(live.marginals()[i], batch.marginals()[i], 1e-12);
+    }
+    EXPECT_NEAR(live.EmpiricalEntropy(), batch.EmpiricalEntropy(), 1e-9);
+    EXPECT_NEAR(live.ReproductionError(), batch.ReproductionError(), 1e-9);
+  }
+  // The two Error code paths (accumulators vs materialized mixture)
+  // agree on the same arrivals.
+  EXPECT_NEAR(snap.Error(), stream.Error(), 1e-9);
+}
+
+TEST(StreamingTest, SnapshotsMergeLikeBatchPartitions) {
+  // One stream per "day" over disjoint workloads: merging the snapshots
+  // must equal the batch two-cluster fit of the combined log.
+  QueryLog combined;
+  StreamingOptions one;
+  one.max_clusters = 1;
+  StreamingCompressor day1(one), day2(one);
+  Pcg32 rng(23);
+  std::vector<int> assignment;
+  for (int i = 0; i < 300; ++i) {
+    bool first = rng.NextBernoulli(0.5);
+    std::vector<FeatureId> ids;
+    FeatureId base = first ? 0 : 20;
+    ids.push_back(base);
+    for (FeatureId f = 1; f < 5; ++f) {
+      if (rng.NextBernoulli(0.5)) ids.push_back(base + f);
+    }
+    FeatureVec vec(std::move(ids));
+    std::uint64_t count = 1 + rng.NextBounded(5);
+    std::size_t before = combined.NumDistinct();
+    combined.Add(vec, count);
+    if (combined.NumDistinct() > before) {
+      assignment.push_back(first ? 0 : 1);
+    }
+    (first ? day1 : day2).Add(vec, count);
+  }
+
+  NaiveMixtureEncoding snap1 = day1.Snapshot();
+  NaiveMixtureEncoding snap2 = day2.Snapshot();
+  NaiveMixtureEncoding merged = NaiveMixtureEncoding::Merge({&snap1, &snap2});
+  NaiveMixtureEncoding batch = NaiveMixtureEncoding::FromPartition(
+      combined, assignment, 2);
+  ASSERT_EQ(merged.NumComponents(), 2u);
+  EXPECT_EQ(merged.LogSize(), batch.LogSize());
+  EXPECT_NEAR(merged.Error(), batch.Error(), 1e-9);
+  for (FeatureId f : {0u, 3u, 20u, 23u}) {
+    EXPECT_NEAR(merged.EstimateCount(FeatureVec({f})),
+                batch.EstimateCount(FeatureVec({f})), 1e-6)
+        << "feature " << f;
+  }
+}
+
 TEST(StreamingTest, RespectsMaxClusters) {
   StreamingOptions opts;
   opts.max_clusters = 3;
