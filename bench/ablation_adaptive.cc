@@ -35,13 +35,13 @@ int main() {
       opts.seed = 29;
 
       opts.method = ClusteringMethod::kKMeansEuclidean;
-      double km = Compress(d.log, opts).encoding.Error();
+      double km = Compress(d.log, opts).Model().Error();
       opts.method = ClusteringMethod::kHierarchicalAverage;
-      double hier = Compress(d.log, opts).encoding.Error();
+      double hier = Compress(d.log, opts).Model().Error();
       // Adaptive bisects with the configured backend; this ablation's
       // third arm is k-means bisection, so say so explicitly.
       opts.method = ClusteringMethod::kKMeansEuclidean;
-      double adaptive = CompressAdaptive(d.log, k, opts).encoding.Error();
+      double adaptive = CompressAdaptive(d.log, k, opts).Model().Error();
 
       table.AddRow({d.name, TablePrinter::Fmt(k), TablePrinter::Fmt(km),
                     TablePrinter::Fmt(hier), TablePrinter::Fmt(adaptive)});

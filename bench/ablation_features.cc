@@ -38,8 +38,8 @@ int main() {
       table.AddRow({extended ? "extended" : "aligon",
                     TablePrinter::Fmt(k),
                     TablePrinter::Fmt(log.NumFeatures()),
-                    TablePrinter::Fmt(s.encoding.Error()),
-                    TablePrinter::Fmt(s.encoding.TotalVerbosity())});
+                    TablePrinter::Fmt(s.Model().Error()),
+                    TablePrinter::Fmt(s.Model().TotalVerbosity())});
     }
   }
   table.Print();

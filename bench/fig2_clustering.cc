@@ -54,8 +54,8 @@ int main() {
           Stopwatch timer;
           LogRSummary s = Compress(d.log, opts);
           time_sum += timer.ElapsedSeconds();
-          err_sum += s.encoding.Error();
-          verb_sum += static_cast<double>(s.encoding.TotalVerbosity());
+          err_sum += s.Model().Error();
+          verb_sum += static_cast<double>(s.Model().TotalVerbosity());
         }
         double n = static_cast<double>(trials);
         table.AddRow({d.name, ClusteringMethodName(m),

@@ -43,9 +43,10 @@ int main() {
       SynthesisOptions so;
       so.samples_per_partition = samples;
       so.seed = 7 + k;
-      SynthesisStats stats = EvaluateSynthesis(d.log, s.encoding, so);
+      SynthesisStats stats =
+          EvaluateSynthesis(d.log, *s.Model().AsNaiveMixture(), so);
       table.AddRow({d.name, TablePrinter::Fmt(k),
-                    TablePrinter::Fmt(s.encoding.Error()),
+                    TablePrinter::Fmt(s.Model().Error()),
                     TablePrinter::Fmt(stats.synthesis_error),
                     TablePrinter::Fmt(stats.marginal_deviation)});
     }

@@ -78,12 +78,13 @@ int main() {
     Stopwatch naive_timer;
     LogRSummary s = Compress(log, opts);
     double naive_sec = naive_timer.ElapsedSeconds();
-    double naive_err = s.encoding.Error();
+    double naive_err = s.Model().Error();
 
     // Materialize per-cluster data.
     std::vector<ClusterRows> clusters;
-    for (std::size_t c = 0; c < s.encoding.NumComponents(); ++c) {
-      const MixtureComponent& comp = s.encoding.Component(c);
+    const NaiveMixtureEncoding& mix = *s.Model().AsNaiveMixture();
+    for (std::size_t c = 0; c < mix.NumComponents(); ++c) {
+      const MixtureComponent& comp = mix.Component(c);
       ClusterRows cr;
       cr.sublog = log.Subset(comp.members);
       for (std::size_t m : comp.members) {

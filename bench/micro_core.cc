@@ -66,7 +66,7 @@ void BM_MarginalEstimate(benchmark::State& state) {
   LogRSummary s = Compress(log, opts);
   FeatureVec pattern = log.Vector(0);
   for (auto _ : state) {
-    double est = s.encoding.EstimateCount(pattern);
+    double est = s.Model().EstimateCount(pattern);
     benchmark::DoNotOptimize(est);
   }
 }
@@ -138,7 +138,7 @@ void BM_KMeansCompress(benchmark::State& state) {
   opts.n_init = 1;
   for (auto _ : state) {
     LogRSummary s = Compress(log, opts);
-    benchmark::DoNotOptimize(s.encoding.Error());
+    benchmark::DoNotOptimize(s.Model().Error());
   }
 }
 BENCHMARK(BM_KMeansCompress)->Arg(4)->Arg(16);
@@ -167,7 +167,7 @@ void BM_ShardedCompress(benchmark::State& state) {
   double error = 0.0;
   for (auto _ : state) {
     LogRSummary s = Compress(log, opts);
-    error = s.encoding.Error();
+    error = s.Model().Error();
     benchmark::DoNotOptimize(error);
   }
   state.counters["shards"] = static_cast<double>(opts.num_shards);
@@ -180,6 +180,66 @@ BENCHMARK(BM_ShardedCompress)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+const QueryLog& EncoderBenchLogSingleton() {
+  // Small enough that the pattern encoder's per-component iterative
+  // scaling stays in the milliseconds; big enough to be representative.
+  static const QueryLog* kLog = [] {
+    PocketDataOptions gen;
+    gen.num_distinct = 200;
+    gen.total_queries = 30000;
+    return new QueryLog(LoadEntries(GeneratePocketDataLog(gen)).TakeLog());
+  }();
+  return *kLog;
+}
+
+LogROptions EncoderBenchOptions(const char* encoder) {
+  LogROptions opts;
+  opts.num_clusters = 4;
+  opts.n_init = 1;
+  opts.encoder = encoder;
+  opts.refine_patterns = 4;
+  opts.pattern_budget = 6;
+  return opts;
+}
+
+void BM_EncoderCompress(benchmark::State& state, const char* encoder) {
+  // Full compression cost per encoder backend at equal K: the price of
+  // trading naive marginals for refined / fitted pattern encodings.
+  const QueryLog& log = EncoderBenchLogSingleton();
+  const LogROptions opts = EncoderBenchOptions(encoder);
+  double error = 0.0;
+  for (auto _ : state) {
+    LogRSummary s = Compress(log, opts);
+    error = s.Model().Error();
+    benchmark::DoNotOptimize(error);
+  }
+  state.counters["error_nats"] = error;
+}
+BENCHMARK_CAPTURE(BM_EncoderCompress, naive, "naive")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EncoderCompress, refined, "refined")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EncoderCompress, pattern, "pattern")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EncoderEstimateCount(benchmark::State& state, const char* encoder) {
+  // The analytics hot path: EstimateCount through the WorkloadModel
+  // facade. Naive/refined answer from marginal products; pattern models
+  // walk the signature lattice.
+  const QueryLog& log = EncoderBenchLogSingleton();
+  LogRSummary s = Compress(log, EncoderBenchOptions(encoder));
+  FeatureVec pattern = log.Vector(0);
+  for (auto _ : state) {
+    double est = s.Model().EstimateCount(pattern);
+    benchmark::DoNotOptimize(est);
+  }
+  state.counters["verbosity"] =
+      static_cast<double>(s.Model().TotalVerbosity());
+}
+BENCHMARK_CAPTURE(BM_EncoderEstimateCount, naive, "naive");
+BENCHMARK_CAPTURE(BM_EncoderEstimateCount, refined, "refined");
+BENCHMARK_CAPTURE(BM_EncoderEstimateCount, pattern, "pattern");
 
 void BM_StreamingAdd(benchmark::State& state) {
   // Throughput of routing one query into a live streaming summary

@@ -40,10 +40,14 @@ int main() {
   LogROptions options;
   options.num_clusters = 12;
   LogRSummary summary = Compress(log, options);
+  // Every estimate below goes through the encoding-agnostic facade, so
+  // swapping options.encoder ("refined", "pattern", ...) changes the
+  // summarizer without touching the advisor.
+  const WorkloadModel& model = summary.Model();
   std::printf("Compressed %llu queries into %zu cluster encodings "
               "(error %.2f nats)\n\n",
               static_cast<unsigned long long>(log.TotalQueries()),
-              summary.encoding.NumComponents(), summary.encoding.Error());
+              model.NumComponents(), model.Error());
 
   // Rank single-column predicates by their estimated frequency. A WHERE
   // feature "col = ?" (or a range form) on a frequently queried table is
@@ -63,7 +67,7 @@ int main() {
     }
     IndexCandidate c;
     c.column_predicate = feat.text;
-    c.estimated_queries = summary.encoding.EstimateCount(FeatureVec({f}));
+    c.estimated_queries = model.EstimateCount(FeatureVec({f}));
     c.share = c.estimated_queries / total;
     if (c.share >= 0.01) candidates.push_back(std::move(c));
   }
@@ -89,8 +93,7 @@ int main() {
     const Feature b{FeatureClause::kWhere, candidates[1].column_predicate};
     FeatureId fa = log.vocabulary().Find(a);
     FeatureId fb = log.vocabulary().Find(b);
-    double joint =
-        summary.encoding.EstimateCount(FeatureVec({fa, fb}));
+    double joint = model.EstimateCount(FeatureVec({fa, fb}));
     std::printf("\nComposite candidate [%s AND %s]: est. %.0f queries "
                 "(%.2f%% of workload)\n",
                 a.text.c_str(), b.text.c_str(), joint,

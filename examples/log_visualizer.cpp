@@ -27,11 +27,13 @@ int main() {
   options.num_clusters = 8;
   LogRSummary summary = Compress(log, options);
 
-  std::printf("Naive mixture encoding of the PocketData-like log, "
+  // Rendering goes through the WorkloadModel facade, so any encoder's
+  // summary (naive, refined, pattern, ...) visualizes identically.
+  const WorkloadModel& model = summary.Model();
+  std::printf("%s mixture encoding of the PocketData-like log, "
               "%zu clusters (Fig. 10 style)\n",
-              summary.encoding.NumComponents());
+              model.EncoderName(), model.NumComponents());
   std::printf("Shading: '#' >= 0.95, '+' >= 0.50, '.' >= 0.15 marginal\n\n");
-  std::fputs(RenderMixture(log.vocabulary(), summary.encoding).c_str(),
-             stdout);
+  std::fputs(RenderMixture(log.vocabulary(), model).c_str(), stdout);
   return 0;
 }

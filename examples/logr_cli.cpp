@@ -1,20 +1,28 @@
 // logr_cli — command-line front end for the LogR library.
 //
-//   logr_cli compress [--clusters K] [--method NAME] [--refine N]
-//                     [--shards S] [--shard-policy hash|range]
-//                     [--out FILE] [LOG]
+//   logr_cli compress [--clusters K] [--method NAME] [--encoder NAME]
+//                     [--refine-patterns N] [--shards S]
+//                     [--shard-policy hash|range] [--out FILE] [LOG]
 //       Reads SQL statements (one per line; an optional "COUNT<TAB>"
 //       prefix gives a multiplicity) from LOG or stdin, compresses them,
-//       and writes a summary file. --refine N reports the Error after
-//       refining each cluster with up to N extra patterns (Sec. 6.4).
+//       and writes a summary file. --encoder picks the summarizer:
+//       naive (default), refined (naive + corr_rank patterns, Sec. 6.4;
+//       --refine-patterns caps the per-cluster budget), pattern
+//       (per-cluster max-ent pattern encodings, Sec. 2.3.1; in-memory
+//       only), or any encoder registered in EncoderRegistry.
 //       --shards S > 1 compresses shard-wise in parallel and merges the
-//       per-shard mixtures (bit-deterministic for any thread count).
-//   logr_cli merge [--clusters K] [--method NAME] [--out FILE] SUMMARY...
+//       per-shard mixtures (bit-deterministic for any thread count;
+//       mergeable encoders only). --refine N is a deprecated alias for
+//       --encoder refined --refine-patterns N.
+//   logr_cli merge [--clusters K] [--method NAME] [--encoder NAME]
+//                  [--out FILE] SUMMARY...
 //       Merges summary files written by compress (e.g. one per day or
 //       per shard) into one, reconciling down to K clusters when the
-//       pooled components exceed K ("compress each day, merge the week").
+//       pooled components exceed K ("compress each day, merge the
+//       week"). Only mergeable summaries (naive, refined) pool; the
+//       output is always a naive summary.
 //   logr_cli info SUMMARY
-//       Prints the summary's clusters, weights and verbosities.
+//       Prints the summary's encoder, clusters, weights and verbosities.
 //   logr_cli estimate SUMMARY CLAUSE:TEXT [CLAUSE:TEXT ...]
 //       Estimates how many logged queries contain all the given
 //       features, e.g.  logr_cli estimate s.logr "WHERE:status = ?".
@@ -34,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "core/encoder.h"
 #include "core/logr_compressor.h"
 #include "core/serialization.h"
 #include "core/visualize.h"
@@ -48,10 +57,10 @@ using namespace logr;
 int Usage() {
   std::fprintf(stderr,
                "usage: logr_cli compress [--clusters K] [--method NAME] "
-               "[--refine N] [--shards S] [--shard-policy hash|range] "
-               "[--out FILE] [LOG]\n"
+               "[--encoder NAME] [--refine-patterns N] [--shards S] "
+               "[--shard-policy hash|range] [--out FILE] [LOG]\n"
                "       logr_cli merge [--clusters K] [--method NAME] "
-               "[--out FILE] SUMMARY...\n"
+               "[--encoder NAME] [--out FILE] SUMMARY...\n"
                "       logr_cli info SUMMARY\n"
                "       logr_cli estimate SUMMARY CLAUSE:TEXT...\n"
                "       logr_cli visualize SUMMARY\n"
@@ -80,12 +89,26 @@ bool ParseClause(const std::string& label, FeatureClause* clause) {
   return true;
 }
 
+/// Resolves --encoder, printing the registered names on failure.
+const Encoder* ResolveEncoderArg(const std::string& name) {
+  const Encoder* encoder = EncoderRegistry::Instance().Find(name);
+  if (encoder == nullptr) {
+    std::fprintf(stderr, "unknown encoder %s; registered encoders:\n",
+                 name.c_str());
+    for (const std::string& n : EncoderRegistry::Instance().Names()) {
+      std::fprintf(stderr, "  %s\n", n.c_str());
+    }
+  }
+  return encoder;
+}
+
 int RunCompress(int argc, char** argv) {
   std::size_t clusters = 8;
   std::size_t refine = 0;
   std::size_t shards = 1;
   ShardPolicy shard_policy = ShardPolicy::kHashDistinct;
   std::string method = "kmeans";
+  std::string encoder_name;  // empty = LOGR_ENCODER env, else "naive"
   std::string out_path = "summary.logr";
   std::string in_path;
   for (int i = 2; i < argc; ++i) {
@@ -99,13 +122,22 @@ int RunCompress(int argc, char** argv) {
       clusters = static_cast<std::size_t>(parsed);
     } else if (arg == "--method" && i + 1 < argc) {
       method = argv[++i];
-    } else if (arg == "--refine" && i + 1 < argc) {
+    } else if (arg == "--encoder" && i + 1 < argc) {
+      encoder_name = argv[++i];
+    } else if ((arg == "--refine-patterns" || arg == "--refine") &&
+               i + 1 < argc) {
       long long parsed;
       if (!ParseCount(argv[++i], 0, &parsed)) {
-        std::fprintf(stderr, "--refine must be an integer >= 0\n");
+        std::fprintf(stderr, "%s must be an integer >= 0\n", arg.c_str());
         return 2;
       }
       refine = static_cast<std::size_t>(parsed);
+      if (arg == "--refine") {
+        std::fprintf(stderr,
+                     "warning: --refine N is deprecated; use "
+                     "--encoder refined --refine-patterns N\n");
+        if (encoder_name.empty() && refine > 0) encoder_name = "refined";
+      }
     } else if (arg == "--shards" && i + 1 < argc) {
       long long parsed;
       if (!ParseCount(argv[++i], 1, &parsed)) {
@@ -125,6 +157,22 @@ int RunCompress(int argc, char** argv) {
     } else {
       return Usage();
     }
+  }
+
+  LogROptions opts;
+  opts.num_clusters = clusters;
+  opts.encoder = encoder_name;
+  opts.refine_patterns = refine;
+  opts.num_shards = shards;
+  opts.shard_policy = shard_policy;
+  const Encoder* encoder = ResolveEncoderArg(EffectiveEncoderName(opts));
+  if (encoder == nullptr) return 2;
+  if (shards > 1 && !encoder->Mergeable()) {
+    std::fprintf(stderr,
+                 "--shards requires a mergeable encoder (naive, refined); "
+                 "%s summaries cannot be pooled\n",
+                 encoder->Name());
+    return 2;
   }
 
   std::ifstream file;
@@ -169,11 +217,6 @@ int RunCompress(int argc, char** argv) {
   }
 
   QueryLog log = loader.TakeLog();
-  LogROptions opts;
-  opts.num_clusters = clusters;
-  opts.refine_patterns = refine;
-  opts.num_shards = shards;
-  opts.shard_policy = shard_policy;
   LogRSummary summary;
   if (method == "adaptive") {
     if (shards > 1) {
@@ -197,24 +240,29 @@ int RunCompress(int argc, char** argv) {
     }
     summary = Compress(log, opts);
   }
-  std::printf("compressed: %zu clusters, error %.4f nats, verbosity %zu "
-              "(from %zu distinct templates, %zu features)\n",
-              summary.encoding.NumComponents(), summary.encoding.Error(),
-              summary.encoding.TotalVerbosity(), log.NumDistinct(),
-              log.NumFeatures());
-  if (refine > 0) {
+  const WorkloadModel& model = summary.Model();
+  std::printf("compressed [%s]: %zu clusters, error %.4f nats, verbosity "
+              "%zu (from %zu distinct templates, %zu features)\n",
+              model.EncoderName(), model.NumComponents(), model.Error(),
+              model.TotalVerbosity(), log.NumDistinct(), log.NumFeatures());
+  if (model.Error() != model.BaseError()) {
     std::size_t extra = 0;
-    for (const auto& patterns : summary.component_patterns) {
-      extra += patterns.size();
+    for (std::size_t c = 0; c < model.NumComponents(); ++c) {
+      extra += model.ComponentPatterns(c).size();
     }
-    std::printf("refined: error %.4f nats with %zu extra patterns "
-                "(<= %zu per cluster)\n",
-                summary.refined_error, extra, refine);
+    std::printf("refined: error %.4f nats (naive %.4f) with %zu extra "
+                "patterns\n",
+                model.Error(), model.BaseError(), extra);
   }
 
+  if (model.AsNaiveMixture() == nullptr) {
+    std::printf("note: %s summaries are in-memory only and cannot be "
+                "written; skipping %s\n",
+                model.EncoderName(), out_path.c_str());
+    return 0;
+  }
   std::string error;
-  if (!WriteSummaryFile(out_path, log.vocabulary(), summary.encoding,
-                        &error)) {
+  if (!WriteSummaryFile(out_path, log.vocabulary(), model, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
@@ -225,6 +273,7 @@ int RunCompress(int argc, char** argv) {
 int RunMerge(int argc, char** argv) {
   std::size_t clusters = 0;  // 0 = keep every pooled component
   std::string method = "kmeans";
+  std::string encoder_name = "naive";
   std::string out_path = "merged.logr";
   std::vector<std::string> inputs;
   for (int i = 2; i < argc; ++i) {
@@ -238,6 +287,8 @@ int RunMerge(int argc, char** argv) {
       clusters = static_cast<std::size_t>(parsed);
     } else if (arg == "--method" && i + 1 < argc) {
       method = argv[++i];
+    } else if (arg == "--encoder" && i + 1 < argc) {
+      encoder_name = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
@@ -248,7 +299,18 @@ int RunMerge(int argc, char** argv) {
   }
   if (inputs.empty()) return Usage();
 
+  const Encoder* encoder = ResolveEncoderArg(encoder_name);
+  if (encoder == nullptr) return 2;
+  if (!encoder->Mergeable()) {
+    std::fprintf(stderr,
+                 "merge requires a mergeable encoder (naive, refined); "
+                 "%s summaries cannot be pooled\n",
+                 encoder->Name());
+    return 2;
+  }
+
   LogROptions opts;
+  opts.encoder = encoder_name;
   if (!ParseClusteringMethod(method, &opts.method)) {
     if (ClustererRegistry::Instance().Find(method) == nullptr) {
       std::fprintf(stderr, "unknown method %s\n", method.c_str());
@@ -270,13 +332,13 @@ int RunMerge(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
+  const WorkloadModel& model = *merged.model;
   std::printf("merged %zu summaries: %zu clusters, %llu queries, error "
               "%.4f nats, verbosity %zu\n",
-              parts.size(), merged.encoding.NumComponents(),
-              static_cast<unsigned long long>(merged.encoding.LogSize()),
-              merged.encoding.Error(), merged.encoding.TotalVerbosity());
-  if (!WriteSummaryFile(out_path, merged.vocabulary, merged.encoding,
-                        &error)) {
+              parts.size(), model.NumComponents(),
+              static_cast<unsigned long long>(model.LogSize()),
+              model.Error(), model.TotalVerbosity());
+  if (!WriteSummaryFile(out_path, merged.vocabulary, model, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
@@ -292,15 +354,16 @@ int RunInfo(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  std::printf("summary %s: %zu features, %zu clusters, %llu queries\n",
-              argv[2], s.vocabulary.size(), s.encoding.NumComponents(),
-              static_cast<unsigned long long>(s.encoding.LogSize()));
-  for (std::size_t c = 0; c < s.encoding.NumComponents(); ++c) {
-    const MixtureComponent& comp = s.encoding.Component(c);
+  const WorkloadModel& model = *s.model;
+  std::printf("summary %s [%s]: %zu features, %zu clusters, %llu queries\n",
+              argv[2], model.EncoderName(), s.vocabulary.size(),
+              model.NumComponents(),
+              static_cast<unsigned long long>(model.LogSize()));
+  for (std::size_t c = 0; c < model.NumComponents(); ++c) {
     std::printf("  cluster %zu: weight %.4f, |L| %llu, verbosity %zu\n", c,
-                comp.weight,
-                static_cast<unsigned long long>(comp.encoding.LogSize()),
-                comp.encoding.Verbosity());
+                model.ComponentWeight(c),
+                static_cast<unsigned long long>(model.ComponentLogSize(c)),
+                model.ComponentVerbosity(c));
   }
   return 0;
 }
@@ -339,9 +402,9 @@ int RunEstimate(int argc, char** argv) {
   }
   FeatureVec pattern(std::move(ids));
   std::printf("est[ count ] = %.2f of %llu queries (marginal %.6f)\n",
-              s.encoding.EstimateCount(pattern),
-              static_cast<unsigned long long>(s.encoding.LogSize()),
-              s.encoding.EstimateMarginal(pattern));
+              s.model->EstimateCount(pattern),
+              static_cast<unsigned long long>(s.model->LogSize()),
+              s.model->EstimateMarginal(pattern));
   return 0;
 }
 
@@ -353,7 +416,7 @@ int RunVisualize(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  std::fputs(RenderMixture(s.vocabulary, s.encoding).c_str(), stdout);
+  std::fputs(RenderMixture(s.vocabulary, *s.model).c_str(), stdout);
   return 0;
 }
 
@@ -367,14 +430,14 @@ int RunDemo() {
   LogROptions opts;
   opts.num_clusters = 6;
   LogRSummary summary = Compress(log, opts);
+  const WorkloadModel& model = summary.Model();
   std::printf("demo: %llu queries -> %zu clusters, error %.3f nats, "
               "verbosity %zu\n",
               static_cast<unsigned long long>(log.TotalQueries()),
-              summary.encoding.NumComponents(), summary.encoding.Error(),
-              summary.encoding.TotalVerbosity());
+              model.NumComponents(), model.Error(), model.TotalVerbosity());
   std::string error;
-  if (!WriteSummaryFile("demo_summary.logr", log.vocabulary(),
-                        summary.encoding, &error)) {
+  if (!WriteSummaryFile("demo_summary.logr", log.vocabulary(), model,
+                        &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }

@@ -42,17 +42,23 @@ int main() {
               static_cast<unsigned long long>(stats.num_distinct_no_const),
               static_cast<unsigned long long>(stats.num_non_select));
 
-  // 2. Compress: partition the log and encode each partition naively.
+  // 2. Compress: partition the log (any ClustererRegistry backend) and
+  //    summarize each partition (any EncoderRegistry backend — "naive"
+  //    here; try "refined" or "pattern").
   QueryLog log = loader.TakeLog();
   LogROptions options;
   options.method = ClusteringMethod::kKMeansEuclidean;
   options.num_clusters = 3;
+  options.encoder = "naive";
   LogRSummary summary = Compress(log, options);
 
-  std::printf("LogR summary: %zu clusters, Reproduction Error %.4f nats, "
-              "Total Verbosity %zu marginals\n",
-              summary.encoding.NumComponents(), summary.encoding.Error(),
-              summary.encoding.TotalVerbosity());
+  // All analytics go through the WorkloadModel facade — the same calls
+  // work for every encoder.
+  const WorkloadModel& model = summary.Model();
+  std::printf("LogR summary [%s]: %zu clusters, Reproduction Error %.4f "
+              "nats, Total Verbosity %zu\n",
+              model.EncoderName(), model.NumComponents(), model.Error(),
+              model.TotalVerbosity());
 
   // 3. Query the summary: how many queries filter on status = ?
   //    (this is the statistic an index advisor needs — Sec. 2).
@@ -60,7 +66,7 @@ int main() {
   FeatureId f = log.vocabulary().Find(status_filter);
   if (f != Vocabulary::kNotFound) {
     FeatureVec pattern({f});
-    double estimated = summary.encoding.EstimateCount(pattern);
+    double estimated = model.EstimateCount(pattern);
     std::uint64_t truth = log.CountContaining(pattern);
     std::printf("est[ #queries with %s ] = %.1f   (true: %llu)\n",
                 status_filter.ToString().c_str(), estimated,
@@ -74,7 +80,7 @@ int main() {
   if (f != Vocabulary::kNotFound && g != Vocabulary::kNotFound) {
     FeatureVec both({f, g});
     std::printf("est[ #queries with both filters ] = %.1f   (true: %llu)\n",
-                summary.encoding.EstimateCount(both),
+                model.EstimateCount(both),
                 static_cast<unsigned long long>(log.CountContaining(both)));
   }
   return 0;

@@ -39,11 +39,14 @@ int main() {
   LogROptions options;
   options.num_clusters = 12;
   LogRSummary summary = Compress(log, options);
+  // Joint-frequency estimates come from the encoding-agnostic facade;
+  // any registered encoder serves this advisor unchanged.
+  const WorkloadModel& model = summary.Model();
   const double total = static_cast<double>(log.TotalQueries());
   std::printf("Compressed %llu queries; advising from the %zu-cluster "
               "summary (error %.2f nats)\n\n",
               static_cast<unsigned long long>(log.TotalQueries()),
-              summary.encoding.NumComponents(), summary.encoding.Error());
+              model.NumComponents(), model.Error());
 
   // Collect FROM features (tables) and WHERE features that look like
   // join atoms ("a.x = b.y") or selection predicates.
@@ -70,7 +73,7 @@ int main() {
   std::vector<ViewCandidate> joins;
   for (FeatureId join : join_atoms) {
     const Feature& jf = log.vocabulary().Get(join);
-    double est = summary.encoding.EstimateCount(FeatureVec({join}));
+    double est = model.EstimateCount(FeatureVec({join}));
     if (est / total < 0.005) continue;
     ViewCandidate c;
     c.description = "JOIN ON " + jf.text;
@@ -99,7 +102,7 @@ int main() {
   for (std::size_t j = 0; j < probe_joins; ++j) {
     for (std::size_t p = 0; p < probe_preds; ++p) {
       FeatureVec pattern({join_atoms[j], predicates[p]});
-      double est = summary.encoding.EstimateCount(pattern);
+      double est = model.EstimateCount(pattern);
       if (est / total < 0.01) continue;
       ViewCandidate c;
       c.description = log.vocabulary().Get(join_atoms[j]).text + "  AND  " +

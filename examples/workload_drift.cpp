@@ -47,13 +47,16 @@ int main() {
   LogROptions options;
   options.num_clusters = 10;
   LogRSummary summary = Compress(baseline, options);
+  // The monitor only ever needs facade estimates, so the baseline can
+  // be summarized by any registered encoder.
+  const WorkloadModel& model = summary.Model();
   const double baseline_total =
       static_cast<double>(baseline.TotalQueries());
   std::printf("Baseline: %llu queries summarized into %zu clusters "
               "(error %.2f nats, verbosity %zu)\n\n",
               static_cast<unsigned long long>(baseline.TotalQueries()),
-              summary.encoding.NumComponents(), summary.encoding.Error(),
-              summary.encoding.TotalVerbosity());
+              model.NumComponents(), model.Error(),
+              model.TotalVerbosity());
 
   // --- Monitored epoch: half the normal traffic plus injections. ---
   LogLoader epoch_loader;
@@ -98,7 +101,7 @@ int main() {
     FeatureId base_id = baseline.vocabulary().Find(feat);
     double expected = 0.0;
     if (base_id != Vocabulary::kNotFound) {
-      expected = summary.encoding.EstimateCount(FeatureVec({base_id})) /
+      expected = model.EstimateCount(FeatureVec({base_id})) /
                  baseline_total;
     }
     Drift d;

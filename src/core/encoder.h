@@ -1,0 +1,256 @@
+// Pluggable encoders and the WorkloadModel analytics facade.
+//
+// The paper compares three encoding families as log summarizers: naive
+// mixtures (Sec. 5/6), pattern-refined mixtures (Sec. 6.4), and general
+// pattern encodings fitted by iterative scaling (Sec. 2.3.1 / 7.2 —
+// the Laserlight/MTV family). All of them answer the same analytics
+// questions — marginal / count estimation, Reproduction Error, Total
+// Verbosity — so the encode stage mirrors the clustering stage's
+// design: every summarizer implements the Encoder interface, is
+// resolved by name through EncoderRegistry, and produces a
+// WorkloadModel, the polymorphic facade every downstream consumer
+// (index/view advisors, drift monitoring, visualization, the CLI,
+// serialization) talks to instead of a concrete encoding class.
+#ifndef LOGR_CORE_ENCODER_H_
+#define LOGR_CORE_ENCODER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mixture.h"
+#include "util/thread_pool.h"
+#include "workload/query_log.h"
+
+namespace logr {
+
+/// Everything an encoder needs besides the log and the partition.
+struct EncodeRequest {
+  /// Number of mixture components the assignment was cut to.
+  std::size_t k = 1;
+  /// Worker pool for data-parallel stages; nullptr selects
+  /// ThreadPool::Shared(). Never changes results, only wall-clock.
+  ThreadPool* pool = nullptr;
+  /// "refined": per-component budget of extra corr_rank-ranked patterns.
+  /// 0 selects the encoder's default budget.
+  std::size_t refine_patterns = 0;
+  /// "pattern": per-component pattern count. 0 selects the encoder's
+  /// default; larger requests are clamped to the encoder's practical
+  /// scaling ceiling (12 — fit cost is exponential in the pattern
+  /// count, and PatternEncoding hard-errors above kMaxPatterns = 20).
+  std::size_t pattern_budget = 0;
+  std::uint64_t seed = 17;
+};
+
+/// The analytics facade over a compressed workload: everything the
+/// paper's use cases (Sec. 2) need from a summary, independent of the
+/// encoding family that produced it. The compressed log *replaces* the
+/// log for analytics — consumers hold a WorkloadModel, never a concrete
+/// encoding.
+class WorkloadModel {
+ public:
+  virtual ~WorkloadModel() = default;
+
+  /// Registry name of the encoder that produced this model.
+  virtual const char* EncoderName() const = 0;
+
+  /// Generalized Reproduction Error Σ_i w_i · e(S_i) in nats (Sec. 5.2).
+  virtual double Error() const = 0;
+
+  /// Error of the underlying unrefined encoding when this model is a
+  /// refinement; equals Error() for non-refining encoders.
+  virtual double BaseError() const { return Error(); }
+
+  /// Total Verbosity Σ_i |S_i| — marginals plus retained patterns
+  /// (Sec. 5.2).
+  virtual std::size_t TotalVerbosity() const = 0;
+
+  virtual std::size_t NumComponents() const = 0;
+
+  /// Total queries |L| across components.
+  virtual std::uint64_t LogSize() const = 0;
+
+  /// Model marginal estimate p(Q ⊇ b) (Sec. 6.2).
+  virtual double EstimateMarginal(const FeatureVec& b) const = 0;
+
+  /// Estimated count est[Γ_b(L)] (Sec. 6.2).
+  virtual double EstimateCount(const FeatureVec& b) const {
+    return static_cast<double>(LogSize()) * EstimateMarginal(b);
+  }
+
+  // --- per-component access (drift monitoring, visualization) ---------
+
+  /// Mixture weight w_i = |L_i| / |L|.
+  virtual double ComponentWeight(std::size_t i) const = 0;
+
+  /// Queries routed to component i.
+  virtual std::uint64_t ComponentLogSize(std::size_t i) const = 0;
+
+  /// Verbosity |S_i| of component i.
+  virtual std::size_t ComponentVerbosity(std::size_t i) const = 0;
+
+  /// Reproduction Error e(S_i) of component i.
+  virtual double ComponentError(std::size_t i) const = 0;
+
+  /// Features with non-zero marginal in component i, ascending.
+  virtual std::vector<FeatureId> ComponentFeatures(std::size_t i) const = 0;
+
+  /// Component i's marginal estimate of single feature `f`.
+  virtual double ComponentMarginal(std::size_t i, FeatureId f) const = 0;
+
+  /// Extra multi-feature patterns retained for component i (empty for
+  /// encoders without pattern refinement).
+  virtual std::vector<FeatureVec> ComponentPatterns(
+      std::size_t /*component*/) const {
+    return {};
+  }
+
+  /// Escape hatch for the naive-mixture machinery (merge, reconcile,
+  /// serialization): the underlying NaiveMixtureEncoding, or nullptr
+  /// when this model is not backed by one. Analytics consumers must use
+  /// the facade above instead.
+  virtual const NaiveMixtureEncoding* AsNaiveMixture() const {
+    return nullptr;
+  }
+};
+
+/// A naive mixture wrapped as a WorkloadModel (the "naive" encoder's
+/// output, and the shape every merge/reconcile path materializes).
+class NaiveMixtureModel : public WorkloadModel {
+ public:
+  explicit NaiveMixtureModel(NaiveMixtureEncoding mixture)
+      : mixture_(std::move(mixture)) {}
+
+  const char* EncoderName() const override { return "naive"; }
+  double Error() const override { return mixture_.Error(); }
+  std::size_t TotalVerbosity() const override {
+    return mixture_.TotalVerbosity();
+  }
+  std::size_t NumComponents() const override {
+    return mixture_.NumComponents();
+  }
+  std::uint64_t LogSize() const override { return mixture_.LogSize(); }
+  double EstimateMarginal(const FeatureVec& b) const override {
+    return mixture_.EstimateMarginal(b);
+  }
+  double EstimateCount(const FeatureVec& b) const override {
+    return mixture_.EstimateCount(b);
+  }
+  double ComponentWeight(std::size_t i) const override;
+  std::uint64_t ComponentLogSize(std::size_t i) const override;
+  std::size_t ComponentVerbosity(std::size_t i) const override;
+  double ComponentError(std::size_t i) const override;
+  std::vector<FeatureId> ComponentFeatures(std::size_t i) const override;
+  double ComponentMarginal(std::size_t i, FeatureId f) const override;
+  const NaiveMixtureEncoding* AsNaiveMixture() const override {
+    return &mixture_;
+  }
+
+ private:
+  NaiveMixtureEncoding mixture_;
+};
+
+/// A naive mixture plus per-component corr_rank-refined patterns (the
+/// "refined" encoder's output, Sec. 6.4). Estimates delegate to the
+/// naive marginals; Error() reports the refined Error.
+class RefinedMixtureModel : public NaiveMixtureModel {
+ public:
+  /// `patterns` and `component_errors` carry one entry per component:
+  /// the retained extra patterns and the component's refined
+  /// Reproduction Error (equal to the naive one where refinement bought
+  /// nothing). Error() is the weight-weighted sum of component_errors.
+  RefinedMixtureModel(NaiveMixtureEncoding mixture,
+                      std::vector<std::vector<FeatureVec>> patterns,
+                      std::vector<double> component_errors);
+
+  const char* EncoderName() const override { return "refined"; }
+  double Error() const override { return refined_error_; }
+  double BaseError() const override { return NaiveMixtureModel::Error(); }
+  std::size_t TotalVerbosity() const override;
+  std::size_t ComponentVerbosity(std::size_t i) const override;
+  double ComponentError(std::size_t i) const override {
+    return component_errors_[i];
+  }
+  std::vector<FeatureVec> ComponentPatterns(std::size_t i) const override;
+
+ private:
+  std::vector<std::vector<FeatureVec>> patterns_;  // one list per component
+  std::vector<double> component_errors_;           // refined e(S_i)
+  double refined_error_ = 0.0;
+};
+
+/// A log summarizer: encodes a clustering partition of a QueryLog into
+/// a WorkloadModel. Implementations plug in through EncoderRegistry the
+/// same way Clusterer backends plug into ClustererRegistry — the
+/// compression pipeline never names a concrete encoding class.
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  /// Registry name (stable; used in options files and CLIs).
+  virtual const char* Name() const = 0;
+
+  /// Whether this encoder's models ride the naive merge/reconcile
+  /// machinery (sharded compression, offline MergeSummaries). Mergeable
+  /// encoders must support WrapMixture and produce models whose
+  /// AsNaiveMixture() is non-null.
+  virtual bool Mergeable() const { return false; }
+
+  /// Encodes the `req.k`-way partition `assignment` of `log`'s distinct
+  /// vectors (values in [0, req.k)).
+  virtual std::shared_ptr<const WorkloadModel> Encode(
+      const QueryLog& log, const std::vector<int>& assignment,
+      const EncodeRequest& req) const = 0;
+
+  /// Wraps an already-materialized naive mixture (the merge/reconcile
+  /// output of the sharded path) in this encoder's model, re-refining
+  /// against `log` when applicable. Aborts for non-mergeable encoders —
+  /// callers must check Mergeable() and fail loudly first.
+  virtual std::shared_ptr<const WorkloadModel> WrapMixture(
+      const QueryLog& log, NaiveMixtureEncoding mixture,
+      const EncodeRequest& req) const;
+};
+
+/// Process-wide name -> encoder table. Thread-safe. The three built-in
+/// backends ("naive", "refined", "pattern") are registered on first
+/// access; applications register additional encoders at runtime.
+class EncoderRegistry {
+ public:
+  static EncoderRegistry& Instance();
+
+  /// Registers `impl` under `name`. Returns false (and keeps the
+  /// existing entry) when the name is already taken.
+  bool Register(const std::string& name, std::shared_ptr<Encoder> impl);
+
+  /// Registers `alias` as another name for an existing encoder.
+  bool RegisterAlias(const std::string& alias, const std::string& name);
+
+  /// The encoder registered under `name`, or nullptr.
+  const Encoder* Find(const std::string& name) const;
+
+  /// All registered names (aliases included), sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  EncoderRegistry();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The encoder name used when LogROptions::encoder is empty: the
+/// LOGR_ENCODER environment variable when set, else "naive". Mirrors
+/// how LOGR_THREADS sizes ThreadPool::Shared(), so CI can run the whole
+/// suite under a different encoder.
+std::string DefaultEncoderName();
+
+/// Mines + corr_rank-ranks up to `budget` extra patterns per component
+/// of `mixture` against `log` (Sec. 6.4) and returns the refined model.
+/// The shared implementation behind the "refined" encoder's Encode and
+/// WrapMixture; exposed for callers that already hold a naive mixture.
+std::shared_ptr<const RefinedMixtureModel> RefineMixture(
+    const QueryLog& log, NaiveMixtureEncoding mixture, std::size_t budget);
+
+}  // namespace logr
+
+#endif  // LOGR_CORE_ENCODER_H_

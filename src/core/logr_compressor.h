@@ -2,13 +2,16 @@
 //
 // Compression = partition the log's distinct queries by feature overlap
 // (any ClustererRegistry backend: k-means / spectral / hierarchical /
-// application-registered, Sec. 6.1), then encode each partition naively.
-// The tunable parameter is the number of clusters K (more clusters ->
-// lower Error, higher Total Verbosity), or equivalently an Error target
-// reached by growing K.
+// application-registered, Sec. 6.1), then summarize each partition with
+// any EncoderRegistry backend ("naive", "refined", "pattern", or
+// application-registered; LogROptions::encoder). The tunable parameter
+// is the number of clusters K (more clusters -> lower Error, higher
+// Total Verbosity), or equivalently an Error target reached by growing
+// K. Every summary exposes the WorkloadModel analytics facade
+// (LogRSummary::Model()) — consumers never touch a concrete encoding.
 //
 // The three entry points below are thin strategy wrappers over the one
-// staged engine in core/pipeline.h (cluster -> encode -> refine).
+// staged engine in core/pipeline.h (cluster -> encode).
 #ifndef LOGR_CORE_LOGR_COMPRESSOR_H_
 #define LOGR_CORE_LOGR_COMPRESSOR_H_
 
@@ -17,11 +20,12 @@
 
 namespace logr {
 
-/// Compresses `log` into a naive mixture encoding with `opts.num_clusters`
-/// partitions. When opts.num_shards > 1 the log is compressed shard-wise
-/// (one pipeline per shard, merged and reconciled back to num_clusters;
-/// see core/sharded.h) with bit-deterministic results for any thread
-/// count and shard order.
+/// Compresses `log` into `opts.num_clusters` partitions summarized by
+/// the registry-resolved encoder (opts.encoder; "naive" by default).
+/// When opts.num_shards > 1 the log is compressed shard-wise (one
+/// pipeline per shard, merged and reconciled back to num_clusters; see
+/// core/sharded.h — mergeable encoders only) with bit-deterministic
+/// results for any thread count and shard order.
 LogRSummary Compress(const QueryLog& log, const LogROptions& opts);
 
 /// Grows K until the generalized Reproduction Error drops to

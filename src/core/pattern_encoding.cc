@@ -8,6 +8,9 @@ PatternEncoding::PatternEncoding(const QueryLog& log,
                                  std::vector<FeatureVec> patterns,
                                  const ScalingOptions& opts)
     : patterns_(std::move(patterns)) {
+  LOGR_CHECK_MSG(patterns_.size() <= kMaxPatterns,
+                 "PatternEncoding materializes the 2^m signature lattice "
+                 "and supports at most kMaxPatterns (20) patterns");
   log_size_ = log.TotalQueries();
   empirical_entropy_ = log.EmpiricalEntropy();
   marginals_.reserve(patterns_.size());

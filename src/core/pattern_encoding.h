@@ -19,9 +19,16 @@ namespace logr {
 
 class PatternEncoding {
  public:
+  /// Hard ceiling on the pattern count: fitting materializes the
+  /// 2^m containment-equivalence lattice, so m > kMaxPatterns would
+  /// exhaust memory long before the fit converges. The constructor
+  /// aborts (LOGR_CHECK) on violation — callers that select patterns
+  /// (e.g. the "pattern" encoder) must cap at this bound.
+  static constexpr std::size_t kMaxPatterns = 20;
+
   /// Builds the encoding of `patterns` with marginals measured on `log`,
   /// over the log's full feature universe, and fits the max-ent model.
-  /// Requires patterns.size() <= 20 (lattice is materialized).
+  /// Aborts with a diagnostic when patterns.size() > kMaxPatterns.
   PatternEncoding(const QueryLog& log, std::vector<FeatureVec> patterns,
                   const ScalingOptions& opts = ScalingOptions());
 
@@ -46,6 +53,9 @@ class PatternEncoding {
   double EstimateCount(const FeatureVec& b) const {
     return static_cast<double>(log_size_) * EstimateMarginal(b);
   }
+
+  /// Number of queries |L| in the encoded partition.
+  std::uint64_t LogSize() const { return log_size_; }
 
   const MaxEntModel& model() const { return *model_; }
 

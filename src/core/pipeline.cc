@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/itemsets.h"
-#include "core/refine.h"
 #include "util/check.h"
 
 namespace logr {
@@ -58,6 +56,19 @@ bool ParseShardPolicy(const std::string& name, ShardPolicy* out) {
   return true;
 }
 
+std::string EffectiveEncoderName(const LogROptions& opts) {
+  if (!opts.encoder.empty()) return opts.encoder;
+  // Legacy knob: refine_patterns predates the registry and always meant
+  // "naive plus corr_rank refinement".
+  if (opts.refine_patterns > 0) return "refined";
+  return DefaultEncoderName();
+}
+
+const WorkloadModel& LogRSummary::Model() const {
+  LOGR_CHECK_MSG(model != nullptr, "summary holds no model");
+  return *model;
+}
+
 ClusterRequest PipelineContext::Request(std::size_t k) const {
   ClusterRequest req;
   req.k = k;
@@ -65,6 +76,16 @@ ClusterRequest PipelineContext::Request(std::size_t k) const {
   req.seed = opts.seed;
   req.n_init = opts.n_init;
   req.pool = pool;
+  return req;
+}
+
+EncodeRequest PipelineContext::EncodeReq(std::size_t k) const {
+  EncodeRequest req;
+  req.k = k;
+  req.pool = pool;
+  req.refine_patterns = opts.refine_patterns;
+  req.pattern_budget = opts.pattern_budget;
+  req.seed = opts.seed;
   return req;
 }
 
@@ -79,6 +100,9 @@ CompressionPipeline::CompressionPipeline(const QueryLog& log,
       opts.backend.empty() ? ClusteringMethodName(opts.method) : opts.backend;
   ctx_.clusterer = ClustererRegistry::Instance().Find(name);
   LOGR_CHECK_MSG(ctx_.clusterer != nullptr, name.c_str());
+  const std::string encoder_name = EffectiveEncoderName(opts);
+  ctx_.encoder = EncoderRegistry::Instance().Find(encoder_name);
+  LOGR_CHECK_MSG(ctx_.encoder != nullptr, encoder_name.c_str());
   ctx_.num_features = log.NumFeatures();
   ctx_.vecs.reserve(log.NumDistinct());
   for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
@@ -104,76 +128,11 @@ LogRSummary CompressionPipeline::EncodeStage(std::vector<int> assignment,
                                              std::size_t k) {
   LogRSummary out;
   out.assignment = std::move(assignment);
-  out.encoding = NaiveMixtureEncoding::FromPartition(*ctx_.log,
-                                                     out.assignment, k,
-                                                     ctx_.pool);
-  out.refined_error = out.encoding.Error();
+  out.model = ctx_.encoder->Encode(*ctx_.log, out.assignment,
+                                   ctx_.EncodeReq(k));
   out.cluster_seconds = cluster_seconds_;
   out.total_seconds = ctx_.timer.ElapsedSeconds();
   return out;
-}
-
-void RefineSummary(const QueryLog& log, const LogROptions& opts,
-                   LogRSummary* summary) {
-  const std::size_t budget = opts.refine_patterns;
-  if (budget == 0) return;
-  double refined = 0.0;
-  summary->component_patterns.assign(summary->encoding.NumComponents(), {});
-  for (std::size_t c = 0; c < summary->encoding.NumComponents(); ++c) {
-    const MixtureComponent& comp = summary->encoding.Component(c);
-    double naive_err = comp.encoding.ReproductionError();
-    if (comp.members.size() < 2 || naive_err <= 1e-12) {
-      refined += comp.weight * naive_err;
-      continue;
-    }
-    QueryLog sublog = log.Subset(comp.members);
-    std::vector<double> row_weights;
-    row_weights.reserve(sublog.NumDistinct());
-    for (std::size_t i = 0; i < sublog.NumDistinct(); ++i) {
-      row_weights.push_back(static_cast<double>(sublog.Multiplicity(i)));
-    }
-    AprioriOptions mine;
-    mine.min_size = 2;  // singletons are already naive marginals
-    mine.max_size = 4;
-    mine.max_results = 256;
-    std::vector<FeatureVec> candidates;
-    for (FrequentItemset& fi : MineFrequentItemsets(sublog.DistinctVectors(),
-                                                    row_weights, mine)) {
-      candidates.push_back(std::move(fi.items));
-    }
-    std::vector<ScoredPattern> ranked =
-        RankPatterns(sublog, comp.encoding, candidates);
-    // Both corr_rank signs mark independence violations (naive under- or
-    // over-estimates); keep the largest magnitudes, matching
-    // RefinedNaiveEncoding's own retention priority.
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const ScoredPattern& a, const ScoredPattern& b) {
-                       return std::fabs(a.corr_rank) > std::fabs(b.corr_rank);
-                     });
-    std::vector<FeatureVec> extra;
-    for (const ScoredPattern& sp : ranked) {
-      if (extra.size() >= budget) break;
-      if (std::fabs(sp.corr_rank) <= 1e-12) break;  // the rest buy nothing
-      extra.push_back(sp.pattern);
-    }
-    if (extra.empty()) {
-      refined += comp.weight * naive_err;
-      continue;
-    }
-    RefinedNaiveEncoding ref(sublog, std::move(extra));
-    // Refinement with exact marginals can only tighten the max-ent model,
-    // but guard against numerical jitter on near-zero errors.
-    double err = std::min(naive_err, ref.ReproductionError());
-    refined += comp.weight * err;
-    summary->component_patterns[c] = ref.retained_patterns();
-  }
-  summary->refined_error = refined;
-}
-
-void CompressionPipeline::RefineStage(LogRSummary* summary) {
-  if (ctx_.opts.refine_patterns == 0) return;
-  RefineSummary(*ctx_.log, ctx_.opts, summary);
-  summary->total_seconds = ctx_.timer.ElapsedSeconds();
 }
 
 LogRSummary CompressionPipeline::RunFixedK() {
@@ -181,9 +140,7 @@ LogRSummary CompressionPipeline::RunFixedK() {
   // encode stage allocate opts.num_clusters components.
   const std::size_t k =
       std::min(ctx_.opts.num_clusters, ctx_.log->NumDistinct());
-  LogRSummary out = EncodeStage(ClusterStage(k), k);
-  RefineStage(&out);
-  return out;
+  return EncodeStage(ClusterStage(k), k);
 }
 
 LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
@@ -194,16 +151,33 @@ LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
       ctx_.clusterer->Fit(ctx_.vecs, ctx_.weights, ctx_.Request(1));
   cluster_seconds_ += fit_timer.ElapsedSeconds();
 
-  LogRSummary out;
+  // The K search measures the naive-mixture Error (the historic target
+  // semantics); the winning partition is encoded once at the end with
+  // the configured encoder.
+  std::vector<int> assignment;
+  NaiveMixtureEncoding best;
+  std::size_t chosen = 1;
   for (std::size_t k = 1; k <= max_clusters; ++k) {
     Stopwatch cut_timer;
-    std::vector<int> assignment = model->Cut(k);
+    std::vector<int> cut = model->Cut(k);
     cluster_seconds_ += cut_timer.ElapsedSeconds();
-    out = EncodeStage(std::move(assignment), k);
-    if (out.encoding.Error() <= error_target) break;
+    best = NaiveMixtureEncoding::FromPartition(*ctx_.log, cut, k, ctx_.pool);
+    assignment = std::move(cut);
+    chosen = k;
+    if (best.Error() <= error_target) break;
   }
-  RefineStage(&out);
-  return out;
+  if (ctx_.encoder->Mergeable()) {
+    // Mergeable encoders wrap the search's own mixture instead of
+    // re-encoding the identical partition from scratch.
+    LogRSummary out;
+    out.assignment = std::move(assignment);
+    out.model = ctx_.encoder->WrapMixture(*ctx_.log, std::move(best),
+                                          ctx_.EncodeReq(chosen));
+    out.cluster_seconds = cluster_seconds_;
+    out.total_seconds = ctx_.timer.ElapsedSeconds();
+    return out;
+  }
+  return EncodeStage(std::move(assignment), chosen);
 }
 
 LogRSummary CompressionPipeline::RunAdaptive(std::size_t num_clusters) {
@@ -283,9 +257,7 @@ LogRSummary CompressionPipeline::RunAdaptive(std::size_t num_clusters) {
     ++k;
   }
 
-  LogRSummary out = EncodeStage(std::move(assignment), k);
-  RefineStage(&out);
-  return out;
+  return EncodeStage(std::move(assignment), k);
 }
 
 }  // namespace logr

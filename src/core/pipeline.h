@@ -1,14 +1,14 @@
 // The staged compression engine behind every LogR entry point.
 //
-// A CompressionPipeline runs up to three stages over one shared
+// A CompressionPipeline runs two stages over one shared
 // PipelineContext (options, PRNG, stopwatch, thread pool, cached
 // distinct vectors):
 //
 //   cluster  partition the distinct queries with a registry-resolved
 //            Clusterer backend (never a hardwired algorithm),
-//   encode   build the naive mixture encoding of the partition,
-//   refine   (optional) mine frequent itemsets per component, rank them
-//            by corr_rank, and measure the refined Error (Sec. 6.4).
+//   encode   summarize the partition with a registry-resolved Encoder
+//            backend ("naive", "refined", "pattern", or an
+//            application-registered one) into a WorkloadModel.
 //
 // The public compression modes — fixed K, error target, adaptive
 // bisection — are thin strategies over this one engine; see
@@ -16,10 +16,12 @@
 #ifndef LOGR_CORE_PIPELINE_H_
 #define LOGR_CORE_PIPELINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/clusterer.h"
+#include "core/encoder.h"
 #include "core/mixture.h"
 #include "util/prng.h"
 #include "util/stopwatch.h"
@@ -71,9 +73,21 @@ struct LogROptions {
   /// Worker pool for data-parallel stages; nullptr selects
   /// ThreadPool::Shared(). Never changes results, only wall-clock.
   ThreadPool* pool = nullptr;
-  /// When > 0, the refine stage keeps up to this many corr_rank-ranked
-  /// patterns per mixture component and reports the refined Error.
+  /// Encoder backend for the encode stage, resolved through
+  /// EncoderRegistry ("naive", "refined", "pattern", or an
+  /// application-registered name). Empty selects DefaultEncoderName()
+  /// (the LOGR_ENCODER environment variable, else "naive") — unless
+  /// refine_patterns > 0, which selects "refined" for backward
+  /// compatibility with the pre-registry refine stage.
+  std::string encoder;
+  /// Per-component budget of extra corr_rank-ranked patterns for the
+  /// "refined" encoder (Sec. 6.4). 0 uses the encoder's default.
   std::size_t refine_patterns = 0;
+  /// Per-component pattern count for the "pattern" encoder. 0 uses the
+  /// encoder's default; larger requests are clamped to the encoder's
+  /// practical ceiling (12, below PatternEncoding::kMaxPatterns — the
+  /// fit is exponential in the pattern count).
+  std::size_t pattern_budget = 0;
   /// When > 1, Compress routes through ShardedCompressor: the log is
   /// split into this many shards, one pipeline runs per shard, and the
   /// per-shard mixtures are merged and reconciled back to num_clusters
@@ -83,25 +97,23 @@ struct LogROptions {
   ShardPolicy shard_policy = ShardPolicy::kHashDistinct;
 };
 
+/// The registry name the encode stage resolves for `opts`: the explicit
+/// opts.encoder, else "refined" when the legacy refine_patterns knob is
+/// set, else DefaultEncoderName().
+std::string EffectiveEncoderName(const LogROptions& opts);
+
 struct LogRSummary {
-  NaiveMixtureEncoding encoding;
+  /// The compressed workload: every analytics consumer goes through
+  /// this facade (never a concrete encoding class). Shared so summaries
+  /// stay cheap to copy; the model itself is immutable.
+  std::shared_ptr<const WorkloadModel> model;
   std::vector<int> assignment;   // cluster per distinct vector
   double cluster_seconds = 0.0;  // wall-clock of the clustering stage
   double total_seconds = 0.0;    // wall-clock of the whole pipeline
-  /// Refine-stage output. `refined_error` equals encoding.Error() when
-  /// refinement is disabled (refine_patterns == 0) or buys nothing.
-  double refined_error = 0.0;
-  /// Retained extra patterns per component (empty unless refined).
-  std::vector<std::vector<FeatureVec>> component_patterns;
-};
 
-/// Mines + ranks extra patterns per component of `summary` against
-/// `log` and records the refined Error (Sec. 6.4). No-op unless
-/// opts.refine_patterns > 0. A free function so callers that already
-/// hold a finished summary (e.g. the sharded merge path) don't pay the
-/// pipeline constructor's distinct-vector caching.
-void RefineSummary(const QueryLog& log, const LogROptions& opts,
-                   LogRSummary* summary);
+  /// Checked facade access: aborts when the summary was never filled.
+  const WorkloadModel& Model() const;
+};
 
 /// Shared state threaded through the pipeline stages.
 struct PipelineContext {
@@ -113,19 +125,23 @@ struct PipelineContext {
   Stopwatch timer;    // started at pipeline construction
   ThreadPool* pool = nullptr;
   const Clusterer* clusterer = nullptr;  // registry-resolved backend
+  const Encoder* encoder = nullptr;      // registry-resolved backend
   std::vector<FeatureVec> vecs;     // the log's distinct vectors
   std::vector<double> weights;      // multiplicity weights (may be empty)
   std::size_t num_features = 0;
 
   /// ClusterRequest for a K-cluster run under these options.
   ClusterRequest Request(std::size_t k) const;
+
+  /// EncodeRequest for a K-component encode under these options.
+  EncodeRequest EncodeReq(std::size_t k) const;
 };
 
 class CompressionPipeline {
  public:
-  /// Resolves the backend (aborts on an unknown `opts.backend` name) and
-  /// caches the log's distinct vectors and weights. `log` must outlive
-  /// the pipeline.
+  /// Resolves the clustering and encoder backends (aborts on an unknown
+  /// name) and caches the log's distinct vectors and weights. `log`
+  /// must outlive the pipeline.
   CompressionPipeline(const QueryLog& log, const LogROptions& opts);
 
   // --- stages ---------------------------------------------------------
@@ -134,21 +150,20 @@ class CompressionPipeline {
   /// elapsed time to the clustering stage.
   std::vector<int> ClusterStage(std::size_t k);
 
-  /// Builds the mixture encoding of `assignment` into a summary carrying
-  /// the stage timings accumulated so far.
+  /// Encodes `assignment` with the registry-resolved encoder into a
+  /// summary carrying the stage timings accumulated so far.
   LogRSummary EncodeStage(std::vector<int> assignment, std::size_t k);
-
-  /// Mines + ranks extra patterns per component and records the refined
-  /// Error. No-op unless opts.refine_patterns > 0.
-  void RefineStage(LogRSummary* summary);
 
   // --- strategies (one engine, three drivers) -------------------------
 
-  /// Compress: cluster at opts.num_clusters, encode, refine.
+  /// Compress: cluster at opts.num_clusters, encode.
   LogRSummary RunFixedK();
 
   /// CompressToErrorTarget: fit the backend once, then grow K until the
-  /// Error drops to `error_target` or K reaches `max_clusters`.
+  /// naive-mixture Error drops to `error_target` or K reaches
+  /// `max_clusters`; the chosen partition is then encoded with the
+  /// configured encoder. The search always evaluates the naive Error so
+  /// expensive encoders (pattern fitting) run once, not once per K.
   /// Single-fit-cheap for backends with monotone cuts (hierarchical);
   /// other backends re-cluster per K.
   LogRSummary RunErrorTarget(double error_target, std::size_t max_clusters);

@@ -29,14 +29,10 @@ FeatureClause ClauseFromInt(int v) {
   }
 }
 
-}  // namespace
-
-void WriteSummary(const Vocabulary& vocab,
-                  const NaiveMixtureEncoding& encoding, std::ostream* out) {
-  std::ostream& os = *out;
-  os << "logr-summary v1\n";
+/// Codebook + cluster payload shared by every summary version.
+void WritePayload(const Vocabulary& vocab,
+                  const NaiveMixtureEncoding& encoding, std::ostream& os) {
   os << "features " << vocab.size() << "\n";
-  os.precision(17);
   for (FeatureId f = 0; f < vocab.size(); ++f) {
     const Feature& feat = vocab.Get(f);
     os << "f " << static_cast<int>(feat.clause) << " " << feat.text << "\n";
@@ -54,6 +50,51 @@ void WriteSummary(const Vocabulary& vocab,
   }
 }
 
+}  // namespace
+
+bool WriteSummary(const Vocabulary& vocab, const WorkloadModel& model,
+                  std::ostream* out, std::string* error) {
+  const NaiveMixtureEncoding* payload = model.AsNaiveMixture();
+  if (payload == nullptr) {
+    return Fail(error, std::string("summaries produced by encoder '") +
+                           model.EncoderName() +
+                           "' are not backed by a naive mixture and cannot "
+                           "be serialized");
+  }
+  // Only tags the reader understands are written: a runtime-registered
+  // mergeable encoder persists as its naive payload, so its files stay
+  // loadable everywhere.
+  const bool refined = std::string(model.EncoderName()) == "refined";
+  std::ostream& os = *out;
+  os.precision(17);
+  os << "logr-summary v2\n";
+  os << "encoder " << (refined ? "refined" : "naive") << "\n";
+  WritePayload(vocab, *payload, os);
+  if (!refined) return true;
+  for (std::size_t c = 0; c < model.NumComponents(); ++c) {
+    const std::vector<FeatureVec> patterns = model.ComponentPatterns(c);
+    if (patterns.empty()) continue;
+    os << "patterns " << c << " " << patterns.size() << " "
+       << model.ComponentError(c) << "\n";
+    for (const FeatureVec& b : patterns) {
+      os << "p " << b.size();
+      for (FeatureId f : b.ids) os << " " << f;
+      os << "\n";
+    }
+  }
+  os << "refined_error " << model.Error() << "\n";
+  return true;
+}
+
+void WriteSummary(const Vocabulary& vocab,
+                  const NaiveMixtureEncoding& encoding, std::ostream* out) {
+  std::ostream& os = *out;
+  os.precision(17);
+  os << "logr-summary v2\n";
+  os << "encoder naive\n";
+  WritePayload(vocab, encoding, os);
+}
+
 bool ReadSummary(std::istream* in, PersistedSummary* summary,
                  std::string* error) {
   std::istream& is = *in;
@@ -66,9 +107,29 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
     return false;
   };
 
-  if (!next_line(&line) || line != "logr-summary v1") {
+  if (!next_line(&line)) return Fail(error, "missing or unsupported header");
+  int version = 0;
+  if (line == "logr-summary v1") {
+    version = 1;
+  } else if (line == "logr-summary v2") {
+    version = 2;
+  } else {
     return Fail(error, "missing or unsupported header");
   }
+
+  summary->encoder = "naive";
+  if (version >= 2) {
+    if (!next_line(&line)) return Fail(error, "truncated: encoder");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> summary->encoder) || tag != "encoder") {
+      return Fail(error, "malformed encoder line: " + line);
+    }
+    if (summary->encoder != "naive" && summary->encoder != "refined") {
+      return Fail(error, "unsupported encoder tag: " + summary->encoder);
+    }
+  }
+
   if (!next_line(&line)) return Fail(error, "truncated: features");
   std::size_t n_features = 0;
   {
@@ -162,6 +223,97 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
   }
   summary->encoding =
       NaiveMixtureEncoding::FromComponents(std::move(components));
+
+  // v2 extras: per-cluster pattern blocks (with the component's refined
+  // Error) and the informational total refined Error.
+  std::vector<std::vector<FeatureVec>> patterns(n_clusters);
+  std::vector<double> component_errors(n_clusters, 0.0);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    component_errors[c] =
+        summary->encoding.Component(c).encoding.ReproductionError();
+  }
+  double refined_error = 0.0;
+  bool saw_refined_error = false;
+  while (version >= 2 && next_line(&line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "patterns") {
+      std::size_t cluster = 0, count = 0;
+      double comp_error = 0.0;
+      if (!(ls >> cluster >> count >> comp_error)) {
+        return Fail(error, "malformed patterns line: " + line);
+      }
+      if (cluster >= n_clusters) {
+        return Fail(error, "patterns block references unknown cluster: " +
+                               line);
+      }
+      if (!patterns[cluster].empty()) {
+        return Fail(error, "duplicate patterns block for cluster: " + line);
+      }
+      if (count == 0 || count > n_features * n_features + 1) {
+        return Fail(error, "implausible pattern count: " + line);
+      }
+      if (!std::isfinite(comp_error) || comp_error < 0.0) {
+        return Fail(error, "component error not finite/non-negative: " +
+                               line);
+      }
+      component_errors[cluster] = comp_error;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!next_line(&line)) return Fail(error, "truncated pattern list");
+        std::istringstream ps(line);
+        std::string ptag;
+        std::size_t n_ids = 0;
+        if (!(ps >> ptag >> n_ids) || ptag != "p" || n_ids == 0 ||
+            n_ids > n_features) {
+          return Fail(error, "malformed pattern line: " + line);
+        }
+        std::vector<FeatureId> ids(n_ids);
+        for (std::size_t j = 0; j < n_ids; ++j) {
+          if (!(ps >> ids[j]) || ids[j] >= n_features) {
+            return Fail(error, "pattern references unknown feature id: " +
+                                   line);
+          }
+        }
+        patterns[cluster].push_back(FeatureVec(std::move(ids)));
+      }
+    } else if (tag == "refined_error") {
+      if (!(ls >> refined_error) || !std::isfinite(refined_error) ||
+          refined_error < 0.0) {
+        return Fail(error, "malformed refined_error line: " + line);
+      }
+      saw_refined_error = true;
+    } else {
+      return Fail(error, "unexpected trailer line: " + line);
+    }
+  }
+
+  if (summary->encoder == "refined") {
+    // The model recomputes the total from the per-component errors; the
+    // refined_error trailer is accepted for readability/diffability.
+    (void)refined_error;
+    (void)saw_refined_error;
+    summary->model = std::make_shared<RefinedMixtureModel>(
+        summary->encoding, std::move(patterns), std::move(component_errors));
+  } else {
+    bool any = false;
+    for (const auto& p : patterns) any = any || !p.empty();
+    if (any || saw_refined_error) {
+      return Fail(error, "pattern/refined_error trailer on a non-refined "
+                         "summary");
+    }
+    summary->model = std::make_shared<NaiveMixtureModel>(summary->encoding);
+  }
+  return true;
+}
+
+bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
+                      const WorkloadModel& model, std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open for writing: " + path);
+  if (!WriteSummary(vocab, model, &out, error)) return false;
+  out.flush();
+  if (!out) return Fail(error, "write failed: " + path);
   return true;
 }
 
@@ -192,6 +344,19 @@ bool MergeSummaries(const std::vector<PersistedSummary>& parts,
   const Clusterer* clusterer = ClustererRegistry::Instance().Find(name);
   if (clusterer == nullptr) {
     return Fail(error, "unknown clustering backend: " + name);
+  }
+  // Pooling operates on the naive payload, so every part's encoder must
+  // belong to the mergeable (naive) family — reject e.g. "pattern"
+  // summaries loudly instead of silently merging something else.
+  for (const PersistedSummary& part : parts) {
+    const Encoder* encoder = EncoderRegistry::Instance().Find(part.encoder);
+    if (encoder == nullptr) {
+      return Fail(error, "unknown encoder tag in summary: " + part.encoder);
+    }
+    if (!encoder->Mergeable()) {
+      return Fail(error, "summaries produced by encoder '" + part.encoder +
+                             "' cannot be merged (no naive payload)");
+    }
   }
 
   // Union the codebooks and rebuild each component's encoding in the
@@ -249,6 +414,10 @@ bool MergeSummaries(const std::vector<PersistedSummary>& parts,
     merged = merged.Reconcile(max_components, *clusterer, req);
   }
   out->encoding = std::move(merged);
+  // Patterns are log-dependent and cannot be re-ranked offline, so the
+  // merge result is always a plain naive summary.
+  out->encoder = "naive";
+  out->model = std::make_shared<NaiveMixtureModel>(out->encoding);
   return true;
 }
 

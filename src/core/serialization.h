@@ -3,46 +3,79 @@
 // A compressed log is only useful if it can replace the log on disk: the
 // text format below stores the feature codebook once plus each cluster's
 // (weight, |L_i|, sparse marginals) — the entire content of a naive
-// mixture encoding. Loading reconstructs a summary that answers every
-// statistic query (EstimateCount / EstimateMarginal) identically.
+// mixture encoding — and, since v2, which encoder produced the summary
+// plus that encoder's extras (the refined encoder's per-cluster
+// patterns and refined Error). Loading reconstructs a WorkloadModel
+// that answers every statistic query identically. v1 files (no encoder
+// tag) still load and are treated as "naive".
 //
 // Format (line-oriented, "#"-comments ignored):
-//   logr-summary v1
+//   logr-summary v2
+//   encoder <name>                  (v2 only; v1 implies "naive")
 //   features <count>
 //   f <clause> <text...>            (one per feature, id = line order)
 //   clusters <count>
-//   cluster <weight> <log_size> <n_marginals>
+//   cluster <weight> <log_size> <empirical_entropy> <n_marginals>
 //   m <feature_id> <marginal>       (n_marginals lines)
+//   ... then, for "refined" summaries only:
+//   patterns <cluster> <count> <refined_component_error>
+//   p <n_ids> <id...>               (count lines per patterns block)
+//   refined_error <value>           (informational; the loaded model
+//                                    recomputes the weighted sum)
+//
+// Only the naive mixture family serializes ("naive", "refined" — any
+// model whose AsNaiveMixture() is non-null). A runtime-registered
+// mergeable encoder persists as its naive payload under the "naive"
+// tag, so its files always load. "pattern" models carry a fitted
+// max-ent lattice per component and are in-memory only for now;
+// WriteSummary fails loudly for them.
 #ifndef LOGR_CORE_SERIALIZATION_H_
 #define LOGR_CORE_SERIALIZATION_H_
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/encoder.h"
 #include "core/mixture.h"
 #include "core/pipeline.h"
 #include "workload/query_log.h"
 
 namespace logr {
 
-/// A loaded summary: the codebook plus the mixture encoding. The
-/// original log is not needed to answer statistic queries.
+/// A loaded summary: the codebook, the naive-family payload, and the
+/// analytics facade built over it. The original log is not needed to
+/// answer statistic queries — consumers go through `model`.
 struct PersistedSummary {
   Vocabulary vocabulary;
+  /// Encoder tag ("naive" for v1 files).
+  std::string encoder = "naive";
+  /// The naive mixture payload (what the merge machinery operates on).
   NaiveMixtureEncoding encoding;
+  /// The analytics facade over the payload; never null after a
+  /// successful ReadSummary.
+  std::shared_ptr<const WorkloadModel> model;
 };
 
-/// Writes `encoding` (with `vocab` as its codebook) to `out`.
+/// Writes `model` (with `vocab` as its codebook) to `out`. Returns
+/// false (and fills `error`) for models outside the naive mixture
+/// family — e.g. the "pattern" encoder's — which cannot be serialized.
+bool WriteSummary(const Vocabulary& vocab, const WorkloadModel& model,
+                  std::ostream* out, std::string* error);
+
+/// Naive-mixture convenience overload (always serializable).
 void WriteSummary(const Vocabulary& vocab,
                   const NaiveMixtureEncoding& encoding, std::ostream* out);
 
-/// Parses a summary written by WriteSummary. Returns false (and fills
-/// `error`) on malformed input.
+/// Parses a summary written by WriteSummary (v2) or by the pre-encoder
+/// v1 writer. Returns false (and fills `error`) on malformed input.
 bool ReadSummary(std::istream* in, PersistedSummary* summary,
                  std::string* error);
 
 /// Convenience file wrappers.
+bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
+                      const WorkloadModel& model, std::string* error);
 bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
                       const NaiveMixtureEncoding& encoding,
                       std::string* error);
@@ -56,8 +89,12 @@ bool ReadSummaryFile(const std::string& path, PersistedSummary* summary,
 /// it — reconciles down with the clustering backend selected by `opts`
 /// (method/backend, seed, n_init). `max_components` == 0 keeps every
 /// pooled component. Returns false (and fills `error`) on an unknown
-/// backend or empty input. Component order in the result is canonical,
-/// so the merge is independent of the order of `parts`.
+/// backend, empty input, or a part whose encoder is not mergeable
+/// ("pattern" summaries cannot be pooled). Refined parts merge through
+/// their naive payload; the output is always tagged "naive" because
+/// patterns are log-dependent and cannot be re-ranked offline.
+/// Component order in the result is canonical, so the merge is
+/// independent of the order of `parts`.
 bool MergeSummaries(const std::vector<PersistedSummary>& parts,
                     std::size_t max_components, const LogROptions& opts,
                     PersistedSummary* out, std::string* error);

@@ -86,9 +86,22 @@ LogRSummary ShardedCompressor::Run() {
     shard_logs.push_back(log.Subset(indices));
   }
 
+  // The merge machinery is exact only for the naive mixture family:
+  // resolve the requested encoder up front and fail loudly for
+  // non-mergeable ones (e.g. "pattern") instead of silently encoding
+  // each shard with something that cannot be pooled.
+  const std::string encoder_name = EffectiveEncoderName(opts_);
+  const Encoder* encoder = EncoderRegistry::Instance().Find(encoder_name);
+  LOGR_CHECK_MSG(encoder != nullptr, encoder_name.c_str());
+  LOGR_CHECK_MSG(encoder->Mergeable(),
+                 "sharded compression requires a mergeable encoder "
+                 "(shard mixtures are pooled through the naive merge); "
+                 "compress monolithically or pick naive/refined");
+
   LogROptions shard_opts = opts_;
   shard_opts.num_shards = 1;
   shard_opts.pool = SerialPool();
+  shard_opts.encoder = "naive";    // shards merge through the naive family
   shard_opts.refine_patterns = 0;  // refinement runs once, on the merge
   LogROptions effective = opts_;
   effective.num_shards = S;
@@ -110,10 +123,12 @@ LogRSummary ShardedCompressor::Run() {
   parts.reserve(S);
   for (std::size_t s = 0; s < S; ++s) {
     shard_cluster_seconds += results[s].cluster_seconds;
+    const NaiveMixtureEncoding& shard_mix =
+        *results[s].Model().AsNaiveMixture();
     std::vector<MixtureComponent> comps;
-    comps.reserve(results[s].encoding.NumComponents());
-    for (std::size_t c = 0; c < results[s].encoding.NumComponents(); ++c) {
-      MixtureComponent comp = results[s].encoding.Component(c);
+    comps.reserve(shard_mix.NumComponents());
+    for (std::size_t c = 0; c < shard_mix.NumComponents(); ++c) {
+      MixtureComponent comp = shard_mix.Component(c);
       for (std::size_t& m : comp.members) m = shards[s][m];
       comps.push_back(std::move(comp));
     }
@@ -140,20 +155,27 @@ LogRSummary ShardedCompressor::Run() {
   req.n_init = opts_.n_init;
   req.pool = pool;
   Stopwatch reconcile_timer;
-  LogRSummary out;
-  out.encoding = merged.Reconcile(k, *clusterer, req);
-  out.cluster_seconds =
-      shard_cluster_seconds + reconcile_timer.ElapsedSeconds();
+  NaiveMixtureEncoding reconciled = merged.Reconcile(k, *clusterer, req);
+  // Read before WrapMixture: encode/refine time is not clustering time.
+  const double reconcile_seconds = reconcile_timer.ElapsedSeconds();
 
+  LogRSummary out;
   out.assignment.assign(log.NumDistinct(), 0);
-  for (std::size_t c = 0; c < out.encoding.NumComponents(); ++c) {
-    for (std::size_t m : out.encoding.Component(c).members) {
+  for (std::size_t c = 0; c < reconciled.NumComponents(); ++c) {
+    for (std::size_t m : reconciled.Component(c).members) {
       out.assignment[m] = static_cast<int>(c);
     }
   }
-  out.refined_error = out.encoding.Error();
-
-  RefineSummary(log, opts_, &out);
+  // The requested encoder wraps (and, for "refined", re-refines) the
+  // reconciled mixture — refinement runs once, on the merge result.
+  EncodeRequest enc_req;
+  enc_req.k = reconciled.NumComponents();
+  enc_req.pool = pool;
+  enc_req.refine_patterns = opts_.refine_patterns;
+  enc_req.pattern_budget = opts_.pattern_budget;
+  enc_req.seed = opts_.seed;
+  out.model = encoder->WrapMixture(log, std::move(reconciled), enc_req);
+  out.cluster_seconds = shard_cluster_seconds + reconcile_seconds;
   out.total_seconds = timer.ElapsedSeconds();
   return out;
 }

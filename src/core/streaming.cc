@@ -112,6 +112,11 @@ NaiveMixtureEncoding StreamingCompressor::Snapshot() const {
   return NaiveMixtureEncoding::FromComponents(std::move(out));
 }
 
+std::shared_ptr<const WorkloadModel> StreamingCompressor::SnapshotModel()
+    const {
+  return std::make_shared<NaiveMixtureModel>(Snapshot());
+}
+
 double StreamingCompressor::Error() const {
   double acc = 0.0;
   for (const ComponentAccumulator& comp : components_) {

@@ -23,9 +23,11 @@
 #ifndef LOGR_CORE_STREAMING_H_
 #define LOGR_CORE_STREAMING_H_
 
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/encoder.h"
 #include "core/mixture.h"
 #include "workload/query_log.h"
 
@@ -51,6 +53,12 @@ class StreamingCompressor {
   /// Materializes the current summary (weights, marginals, entropies are
   /// exact for everything added so far).
   NaiveMixtureEncoding Snapshot() const;
+
+  /// Snapshot() wrapped as the analytics facade. Streaming maintenance
+  /// is inherently a naive-family path (snapshots must merge like any
+  /// mixture), so the model is always a NaiveMixtureModel — refine or
+  /// re-encode a snapshot offline for other encoders.
+  std::shared_ptr<const WorkloadModel> SnapshotModel() const;
 
   /// Current component count / totals.
   std::size_t NumComponents() const { return components_.size(); }

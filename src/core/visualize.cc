@@ -36,29 +36,24 @@ void AppendClause(const char* label, std::vector<Annotated>* items,
   }
 }
 
-}  // namespace
-
-char MarginalGlyph(double marginal, const VisualizeOptions& opts) {
-  if (marginal >= opts.solid_threshold) return '#';
-  if (marginal >= opts.strong_threshold) return '+';
-  return '.';
-}
-
-std::string RenderCluster(const Vocabulary& vocab,
-                          const MixtureComponent& component,
-                          const VisualizeOptions& opts) {
-  const NaiveEncoding& enc = component.encoding;
+/// Shared rendering body: the cluster header plus per-clause feature
+/// listings, from whatever representation supplied the marginals.
+std::string RenderClusterImpl(const Vocabulary& vocab, double weight,
+                              std::uint64_t log_size, std::size_t verbosity,
+                              double error,
+                              const std::vector<FeatureId>& features,
+                              const std::vector<double>& marginals,
+                              const VisualizeOptions& opts) {
   std::string out = StrFormat(
       "cluster: weight %.1f%%, |L| %llu, verbosity %zu, error %.3f\n",
-      100.0 * component.weight,
-      static_cast<unsigned long long>(enc.LogSize()), enc.Verbosity(),
-      enc.ReproductionError());
+      100.0 * weight, static_cast<unsigned long long>(log_size), verbosity,
+      error);
 
   std::vector<Annotated> select_items, from_items, where_items, misc_items;
-  for (std::size_t i = 0; i < enc.features().size(); ++i) {
-    double m = enc.marginals()[i];
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    double m = marginals[i];
     if (m < opts.min_marginal) continue;
-    const Feature& f = vocab.Get(enc.features()[i]);
+    const Feature& f = vocab.Get(features[i]);
     Annotated a;
     a.marginal = m;
     a.line = StrFormat("%c %s", MarginalGlyph(m, opts), f.text.c_str());
@@ -82,6 +77,23 @@ std::string RenderCluster(const Vocabulary& vocab,
   return out;
 }
 
+}  // namespace
+
+char MarginalGlyph(double marginal, const VisualizeOptions& opts) {
+  if (marginal >= opts.solid_threshold) return '#';
+  if (marginal >= opts.strong_threshold) return '+';
+  return '.';
+}
+
+std::string RenderCluster(const Vocabulary& vocab,
+                          const MixtureComponent& component,
+                          const VisualizeOptions& opts) {
+  const NaiveEncoding& enc = component.encoding;
+  return RenderClusterImpl(vocab, component.weight, enc.LogSize(),
+                           enc.Verbosity(), enc.ReproductionError(),
+                           enc.features(), enc.marginals(), opts);
+}
+
 std::string RenderMixture(const Vocabulary& vocab,
                           const NaiveMixtureEncoding& encoding,
                           const VisualizeOptions& opts) {
@@ -93,6 +105,37 @@ std::string RenderMixture(const Vocabulary& vocab,
   std::string out;
   for (std::size_t i : order) {
     out += RenderCluster(vocab, encoding.Component(i), opts);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderCluster(const Vocabulary& vocab, const WorkloadModel& model,
+                          std::size_t component,
+                          const VisualizeOptions& opts) {
+  const std::vector<FeatureId> features = model.ComponentFeatures(component);
+  std::vector<double> marginals;
+  marginals.reserve(features.size());
+  for (FeatureId f : features) {
+    marginals.push_back(model.ComponentMarginal(component, f));
+  }
+  return RenderClusterImpl(vocab, model.ComponentWeight(component),
+                           model.ComponentLogSize(component),
+                           model.ComponentVerbosity(component),
+                           model.ComponentError(component), features,
+                           marginals, opts);
+}
+
+std::string RenderMixture(const Vocabulary& vocab, const WorkloadModel& model,
+                          const VisualizeOptions& opts) {
+  std::vector<std::size_t> order(model.NumComponents());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return model.ComponentWeight(a) > model.ComponentWeight(b);
+  });
+  std::string out;
+  for (std::size_t i : order) {
+    out += RenderCluster(vocab, model, i, opts);
     out += "\n";
   }
   return out;

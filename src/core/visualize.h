@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "core/encoder.h"
 #include "core/mixture.h"
 #include "workload/query_log.h"
 
@@ -40,6 +41,15 @@ std::string RenderCluster(const Vocabulary& vocab,
 /// Renders the whole mixture, clusters ordered by descending weight.
 std::string RenderMixture(const Vocabulary& vocab,
                           const NaiveMixtureEncoding& encoding,
+                          const VisualizeOptions& opts = VisualizeOptions());
+
+/// Encoding-agnostic overloads: render any WorkloadModel through the
+/// analytics facade (per-component features and marginals), so every
+/// encoder's summaries visualize the same way.
+std::string RenderCluster(const Vocabulary& vocab, const WorkloadModel& model,
+                          std::size_t component,
+                          const VisualizeOptions& opts = VisualizeOptions());
+std::string RenderMixture(const Vocabulary& vocab, const WorkloadModel& model,
                           const VisualizeOptions& opts = VisualizeOptions());
 
 }  // namespace logr

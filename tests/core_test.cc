@@ -368,13 +368,13 @@ TEST(CompressorTest, ErrorDecreasesWithClusters) {
   for (std::size_t k : {1u, 3u, 6u}) {
     opts.num_clusters = k;
     LogRSummary s = Compress(log, opts);
-    EXPECT_LE(s.encoding.Error(), prev + 0.3) << "k=" << k;
-    prev = s.encoding.Error();
+    EXPECT_LE(s.Model().Error(), prev + 0.3) << "k=" << k;
+    prev = s.Model().Error();
   }
   // With k = #distinct, error must be ~0.
   opts.num_clusters = log.NumDistinct();
   LogRSummary full = Compress(log, opts);
-  EXPECT_NEAR(full.encoding.Error(), 0.0, 1e-9);
+  EXPECT_NEAR(full.Model().Error(), 0.0, 1e-9);
 }
 
 TEST(CompressorTest, AllMethodsProduceValidAssignments) {
@@ -403,7 +403,7 @@ TEST(CompressorTest, AllMethodsProduceValidAssignments) {
       EXPECT_GE(a, 0);
       EXPECT_LT(a, 4);
     }
-    EXPECT_GE(s.encoding.Error(), -1e-9);
+    EXPECT_GE(s.Model().Error(), -1e-9);
   }
 }
 
@@ -423,7 +423,7 @@ TEST(CompressorTest, ErrorTargetReached) {
   }
   LogROptions opts;
   LogRSummary s = CompressToErrorTarget(log, 0.5, 100, opts);
-  EXPECT_LE(s.encoding.Error(), 0.5 + 1e-9);
+  EXPECT_LE(s.Model().Error(), 0.5 + 1e-9);
 }
 
 }  // namespace

@@ -1,0 +1,426 @@
+// Tests for the pluggable encoder stage: EncoderRegistry resolution
+// (built-ins plus a runtime-registered fake), bit-identity of the
+// "naive" backend with the direct cluster->FromPartition pipeline,
+// cross-encoder invariants (refined Error <= naive Error, facade
+// consistency), the PatternEncoding lattice cap, and serialization
+// v1 compatibility / v2 encoder-tag round-trips.
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/clusterer.h"
+#include "core/encoder.h"
+#include "core/logr_compressor.h"
+#include "core/pattern_encoding.h"
+#include "core/serialization.h"
+#include "data/bank.h"
+#include "data/pocketdata.h"
+#include "data/sql_log.h"
+#include "gtest/gtest.h"
+#include "util/prng.h"
+
+namespace logr {
+namespace {
+
+QueryLog GroupedLog(std::size_t groups, std::size_t per_group,
+                    std::uint64_t seed) {
+  Pcg32 rng(seed);
+  QueryLog log;
+  // Intern a codebook entry per feature id so summaries serialize.
+  for (std::size_t f = 0; f < groups * 8; ++f) {
+    log.mutable_vocabulary()->Intern(
+        {FeatureClause::kSelect, "col" + std::to_string(f)});
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t i = 0; i < per_group; ++i) {
+      std::vector<FeatureId> ids = {static_cast<FeatureId>(g * 8)};
+      for (std::size_t f = 1; f < 8; ++f) {
+        if (rng.NextBernoulli(0.5)) {
+          ids.push_back(static_cast<FeatureId>(g * 8 + f));
+        }
+      }
+      log.Add(FeatureVec(std::move(ids)), 1 + rng.NextBounded(30));
+    }
+  }
+  return log;
+}
+
+QueryLog SmallPocketLog() {
+  PocketDataOptions gen;
+  gen.num_distinct = 150;
+  gen.total_queries = 50000;
+  return LoadEntries(GeneratePocketDataLog(gen)).TakeLog();
+}
+
+QueryLog SmallBankLog() {
+  BankLogOptions gen;
+  gen.num_templates = 150;
+  gen.total_queries = 40000;
+  return LoadEntries(GenerateBankLog(gen)).TakeLog();
+}
+
+TEST(EncoderRegistryTest, ResolvesEveryBuiltInBackend) {
+  EncoderRegistry& registry = EncoderRegistry::Instance();
+  const Encoder* naive = registry.Find("naive");
+  const Encoder* refined = registry.Find("refined");
+  const Encoder* pattern = registry.Find("pattern");
+  ASSERT_NE(naive, nullptr);
+  ASSERT_NE(refined, nullptr);
+  ASSERT_NE(pattern, nullptr);
+  // The naive family merges; general pattern encodings do not.
+  EXPECT_TRUE(naive->Mergeable());
+  EXPECT_TRUE(refined->Mergeable());
+  EXPECT_FALSE(pattern->Mergeable());
+  EXPECT_EQ(registry.Find("no-such-encoder"), nullptr);
+  std::vector<std::string> names = registry.Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "naive"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "refined"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pattern"), names.end());
+}
+
+/// A deliberately trivial model + encoder pair registered at runtime to
+/// prove third-party summarizers plug into the compressor without
+/// touching src/core/.
+class ConstantModel : public WorkloadModel {
+ public:
+  explicit ConstantModel(std::uint64_t log_size) : log_size_(log_size) {}
+  const char* EncoderName() const override { return "test_constant"; }
+  double Error() const override { return 0.0; }
+  std::size_t TotalVerbosity() const override { return 1; }
+  std::size_t NumComponents() const override { return 1; }
+  std::uint64_t LogSize() const override { return log_size_; }
+  double EstimateMarginal(const FeatureVec&) const override { return 0.5; }
+  double ComponentWeight(std::size_t) const override { return 1.0; }
+  std::uint64_t ComponentLogSize(std::size_t) const override {
+    return log_size_;
+  }
+  std::size_t ComponentVerbosity(std::size_t) const override { return 1; }
+  double ComponentError(std::size_t) const override { return 0.0; }
+  std::vector<FeatureId> ComponentFeatures(std::size_t) const override {
+    return {0};
+  }
+  double ComponentMarginal(std::size_t, FeatureId) const override {
+    return 0.5;
+  }
+
+ private:
+  std::uint64_t log_size_ = 0;
+};
+
+class ConstantEncoder : public Encoder {
+ public:
+  const char* Name() const override { return "test_constant"; }
+  std::shared_ptr<const WorkloadModel> Encode(
+      const QueryLog& log, const std::vector<int>&,
+      const EncodeRequest&) const override {
+    return std::make_shared<ConstantModel>(log.TotalQueries());
+  }
+};
+
+TEST(EncoderRegistryTest, RuntimeRegisteredEncoderWorksEndToEnd) {
+  EncoderRegistry& registry = EncoderRegistry::Instance();
+  if (registry.Find("test_constant") == nullptr) {
+    ASSERT_TRUE(registry.Register("test_constant",
+                                  std::make_shared<ConstantEncoder>()));
+  }
+  // Duplicate registration is rejected, not silently replaced.
+  EXPECT_FALSE(registry.Register("test_constant",
+                                 std::make_shared<ConstantEncoder>()));
+
+  QueryLog log = GroupedLog(3, 10, 77);
+  LogROptions opts;
+  opts.encoder = "test_constant";
+  opts.num_clusters = 4;
+  LogRSummary s = Compress(log, opts);
+  EXPECT_STREQ(s.Model().EncoderName(), "test_constant");
+  EXPECT_EQ(s.Model().NumComponents(), 1u);
+  EXPECT_EQ(s.Model().LogSize(), log.TotalQueries());
+  EXPECT_NEAR(s.Model().EstimateCount(FeatureVec({0})),
+              0.5 * static_cast<double>(log.TotalQueries()), 1e-9);
+  // Non-mergeable custom models cannot be serialized.
+  std::stringstream buffer;
+  std::string error;
+  EXPECT_FALSE(WriteSummary(log.vocabulary(), s.Model(), &buffer, &error));
+  EXPECT_NE(error.find("test_constant"), std::string::npos) << error;
+}
+
+TEST(EncoderTest, NaiveViaRegistryBitIdenticalToDirectPipeline) {
+  // The registry-resolved "naive" backend must reproduce the
+  // pre-registry pipeline — cluster with the registry backend, encode
+  // with FromPartition — to the bit, same seed / threads.
+  QueryLog log = SmallPocketLog();
+  LogROptions opts;
+  opts.encoder = "naive";
+  opts.num_clusters = 7;
+  opts.seed = 31;
+  LogRSummary s = Compress(log, opts);
+
+  // Replicate the pipeline by hand.
+  std::vector<FeatureVec> vecs;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
+    vecs.push_back(log.Vector(i));
+    weights.push_back(static_cast<double>(log.Multiplicity(i)));
+  }
+  const Clusterer* kmeans =
+      ClustererRegistry::Instance().Find("KmeansEuclidean");
+  ASSERT_NE(kmeans, nullptr);
+  ClusterRequest req;
+  req.k = 7;
+  req.num_features = log.NumFeatures();
+  req.seed = 31;
+  req.n_init = opts.n_init;
+  req.pool = ThreadPool::Shared();
+  std::vector<int> assignment = kmeans->Cluster(vecs, weights, req);
+  NaiveMixtureEncoding direct =
+      NaiveMixtureEncoding::FromPartition(log, assignment, 7,
+                                          ThreadPool::Shared());
+
+  EXPECT_EQ(s.assignment, assignment);
+  const NaiveMixtureEncoding* mix = s.Model().AsNaiveMixture();
+  ASSERT_NE(mix, nullptr);
+  ASSERT_EQ(mix->NumComponents(), direct.NumComponents());
+  for (std::size_t c = 0; c < direct.NumComponents(); ++c) {
+    const NaiveEncoding& a = mix->Component(c).encoding;
+    const NaiveEncoding& b = direct.Component(c).encoding;
+    EXPECT_EQ(mix->Component(c).weight, direct.Component(c).weight) << c;
+    EXPECT_EQ(a.LogSize(), b.LogSize()) << c;
+    EXPECT_EQ(a.features(), b.features()) << c;
+    EXPECT_EQ(a.marginals(), b.marginals()) << c;
+    EXPECT_EQ(a.EmpiricalEntropy(), b.EmpiricalEntropy()) << c;
+    EXPECT_EQ(a.MaxEntEntropy(), b.MaxEntEntropy()) << c;
+  }
+  EXPECT_EQ(s.Model().Error(), direct.Error());
+  EXPECT_EQ(s.Model().TotalVerbosity(), direct.TotalVerbosity());
+}
+
+TEST(EncoderTest, RefinedErrorAtMostNaiveOnPaperShapedWorkloads) {
+  struct Case {
+    const char* name;
+    QueryLog log;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"bank", SmallBankLog()});
+  cases.push_back({"pocketdata", SmallPocketLog()});
+  for (Case& c : cases) {
+    LogROptions opts;
+    opts.num_clusters = 6;
+    opts.seed = 5;
+    opts.encoder = "naive";
+    LogRSummary naive = Compress(c.log, opts);
+    opts.encoder = "refined";
+    opts.refine_patterns = 4;
+    LogRSummary refined = Compress(c.log, opts);
+
+    EXPECT_LE(refined.Model().Error(), naive.Model().Error() + 1e-9)
+        << c.name;
+    EXPECT_EQ(refined.Model().BaseError(), naive.Model().Error()) << c.name;
+    // Refinement adds patterns on top of the naive marginals, so
+    // verbosity can only grow, and estimates (naive delegation) agree.
+    EXPECT_GE(refined.Model().TotalVerbosity(),
+              naive.Model().TotalVerbosity())
+        << c.name;
+    for (std::size_t i = 0; i < 10 && i < c.log.NumDistinct(); ++i) {
+      const FeatureVec& probe = c.log.Vector(i);
+      EXPECT_NEAR(refined.Model().EstimateCount(probe),
+                  naive.Model().EstimateCount(probe), 1e-9)
+          << c.name << " probe " << i;
+    }
+  }
+}
+
+TEST(EncoderTest, PatternEncoderCapsPerComponentBudget) {
+  QueryLog log = GroupedLog(3, 12, 91);
+  LogROptions opts;
+  opts.encoder = "pattern";
+  opts.num_clusters = 3;
+  // Over-budget request: the encoder must cap at the lattice ceiling
+  // instead of letting PatternEncoding abort.
+  opts.pattern_budget = 50;
+  LogRSummary s = Compress(log, opts);
+  EXPECT_STREQ(s.Model().EncoderName(), "pattern");
+  EXPECT_EQ(s.Model().NumComponents(), 3u);
+  EXPECT_GE(s.Model().Error(), -1e-9);
+  std::size_t total_patterns = 0;
+  for (std::size_t c = 0; c < s.Model().NumComponents(); ++c) {
+    std::vector<FeatureVec> patterns = s.Model().ComponentPatterns(c);
+    // The encoder clamps below the lattice hard cap (its practical
+    // ceiling is tighter still — fit cost is exponential in m).
+    EXPECT_LE(patterns.size(), PatternEncoding::kMaxPatterns) << c;
+    EXPECT_LE(patterns.size(), 12u) << c;
+    EXPECT_FALSE(patterns.empty()) << c;
+    total_patterns += patterns.size();
+  }
+  EXPECT_EQ(s.Model().TotalVerbosity(), total_patterns);
+  // Pattern summaries are not backed by a naive mixture.
+  EXPECT_EQ(s.Model().AsNaiveMixture(), nullptr);
+}
+
+TEST(EncoderTest, FacadeIsConsistentAcrossEncoders) {
+  QueryLog log = GroupedLog(4, 10, 13);
+  for (const char* name : {"naive", "refined", "pattern"}) {
+    LogROptions opts;
+    opts.encoder = name;
+    opts.num_clusters = 4;
+    opts.pattern_budget = 6;
+    LogRSummary s = Compress(log, opts);
+    const WorkloadModel& model = s.Model();
+    EXPECT_STREQ(model.EncoderName(), name);
+    EXPECT_EQ(model.LogSize(), log.TotalQueries()) << name;
+    double weight_sum = 0.0;
+    for (std::size_t c = 0; c < model.NumComponents(); ++c) {
+      weight_sum += model.ComponentWeight(c);
+      std::vector<FeatureId> features = model.ComponentFeatures(c);
+      EXPECT_TRUE(std::is_sorted(features.begin(), features.end()))
+          << name << " component " << c;
+      for (FeatureId f : features) {
+        double m = model.ComponentMarginal(c, f);
+        EXPECT_GE(m, 0.0) << name;
+        EXPECT_LE(m, 1.0 + 1e-9) << name;
+      }
+    }
+    EXPECT_NEAR(weight_sum, 1.0, 1e-9) << name;
+    FeatureVec probe({0});
+    EXPECT_NEAR(model.EstimateCount(probe),
+                static_cast<double>(model.LogSize()) *
+                    model.EstimateMarginal(probe),
+                1e-6 * static_cast<double>(model.LogSize()))
+        << name;
+  }
+}
+
+TEST(EncoderDeathTest, PatternEncodingRejectsTooManyPatterns) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  QueryLog log;
+  std::vector<FeatureId> all;
+  for (FeatureId f = 0; f < 21; ++f) all.push_back(f);
+  log.Add(FeatureVec(all), 10);
+  std::vector<FeatureVec> patterns;
+  for (FeatureId f = 0; f < 21; ++f) patterns.push_back(FeatureVec({f}));
+  ASSERT_GT(patterns.size(), PatternEncoding::kMaxPatterns);
+  EXPECT_DEATH(PatternEncoding(log, patterns), "kMaxPatterns");
+}
+
+TEST(EncoderDeathTest, ShardedCompressionRejectsNonMergeableEncoder) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  QueryLog log = GroupedLog(3, 10, 7);
+  LogROptions opts;
+  opts.encoder = "pattern";
+  opts.num_clusters = 2;
+  opts.num_shards = 2;
+  EXPECT_DEATH(Compress(log, opts), "mergeable");
+}
+
+TEST(EncoderTest, MergeSummariesRejectsNonMergeableTags) {
+  QueryLog log = GroupedLog(2, 8, 3);
+  LogROptions opts;
+  opts.num_clusters = 2;
+  opts.encoder = "naive";
+  LogRSummary summary = Compress(log, opts);
+
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary part;
+  ASSERT_TRUE(ReadSummary(&buffer, &part, &error)) << error;
+
+  PersistedSummary out;
+  std::vector<PersistedSummary> parts(1, part);
+  parts[0].encoder = "pattern";
+  EXPECT_FALSE(MergeSummaries(parts, 0, LogROptions(), &out, &error));
+  EXPECT_NE(error.find("cannot be merged"), std::string::npos) << error;
+  parts[0].encoder = "no-such-encoder";
+  EXPECT_FALSE(MergeSummaries(parts, 0, LogROptions(), &out, &error));
+  EXPECT_NE(error.find("unknown encoder"), std::string::npos) << error;
+  // The untampered tag merges fine.
+  parts[0].encoder = part.encoder;
+  EXPECT_TRUE(MergeSummaries(parts, 0, LogROptions(), &out, &error))
+      << error;
+}
+
+TEST(EncoderTest, V1SummariesStillLoadAsNaive) {
+  // A pre-encoder v1 file (no encoder line, no trailer) must load and
+  // answer estimates through the facade.
+  const char* v1 =
+      "logr-summary v1\n"
+      "features 3\n"
+      "f 0 id\n"
+      "f 1 messages\n"
+      "f 2 status = ?\n"
+      "clusters 2\n"
+      "cluster 0.6 60 0.5 2\n"
+      "m 0 1\n"
+      "m 1 0.5\n"
+      "cluster 0.4 40 0 1\n"
+      "m 2 1\n";
+  std::stringstream in(v1);
+  PersistedSummary s;
+  std::string error;
+  ASSERT_TRUE(ReadSummary(&in, &s, &error)) << error;
+  EXPECT_EQ(s.encoder, "naive");
+  ASSERT_NE(s.model, nullptr);
+  EXPECT_STREQ(s.model->EncoderName(), "naive");
+  EXPECT_EQ(s.model->NumComponents(), 2u);
+  EXPECT_EQ(s.model->LogSize(), 100u);
+  EXPECT_NEAR(s.model->EstimateCount(FeatureVec({0})), 60.0, 1e-9);
+
+  // The checked-in demo summary (written by the v1 tool) still loads
+  // when the test runs from the build tree.
+  for (const char* path :
+       {"demo_summary.logr", "../demo_summary.logr",
+        "../../demo_summary.logr"}) {
+    std::ifstream file(path);
+    if (!file) continue;
+    PersistedSummary demo;
+    EXPECT_TRUE(ReadSummary(&file, &demo, &error)) << path << ": " << error;
+    EXPECT_GT(demo.model->NumComponents(), 0u) << path;
+    break;
+  }
+}
+
+TEST(EncoderTest, V2RoundTripsEncoderTagAndPatterns) {
+  QueryLog log = GroupedLog(3, 12, 59);
+  LogROptions opts;
+  opts.num_clusters = 2;
+  opts.encoder = "refined";
+  opts.refine_patterns = 3;
+  LogRSummary summary = Compress(log, opts);
+
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary loaded;
+  ASSERT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.encoder, "refined");
+  EXPECT_STREQ(loaded.model->EncoderName(), "refined");
+  EXPECT_NEAR(loaded.model->Error(), summary.Model().Error(), 1e-12);
+  EXPECT_NEAR(loaded.model->BaseError(), summary.Model().BaseError(), 1e-9);
+  EXPECT_EQ(loaded.model->TotalVerbosity(), summary.Model().TotalVerbosity());
+  for (std::size_t c = 0; c < summary.Model().NumComponents(); ++c) {
+    EXPECT_EQ(loaded.model->ComponentPatterns(c),
+              summary.Model().ComponentPatterns(c))
+        << c;
+  }
+
+  // A naive summary round-trips its tag too.
+  opts.encoder = "naive";
+  opts.refine_patterns = 0;
+  LogRSummary naive = Compress(log, opts);
+  std::stringstream buffer2;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), naive.Model(), &buffer2,
+                           &error))
+      << error;
+  PersistedSummary loaded2;
+  ASSERT_TRUE(ReadSummary(&buffer2, &loaded2, &error)) << error;
+  EXPECT_EQ(loaded2.encoder, "naive");
+  EXPECT_STREQ(loaded2.model->EncoderName(), "naive");
+}
+
+}  // namespace
+}  // namespace logr

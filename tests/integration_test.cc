@@ -31,8 +31,8 @@ TEST(IntegrationTest, PipelineProducesDecreasingErrorInK) {
     opts.num_clusters = k;
     opts.seed = 3;
     LogRSummary s = Compress(log, opts);
-    EXPECT_LE(s.encoding.Error(), prev + 0.5) << "k=" << k;
-    prev = s.encoding.Error();
+    EXPECT_LE(s.Model().Error(), prev + 0.5) << "k=" << k;
+    prev = s.Model().Error();
   }
 }
 
@@ -49,7 +49,7 @@ TEST(IntegrationTest, MarginalEstimatesImproveWithClusters) {
     for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
       double truth = static_cast<double>(
           log.CountContaining(log.Vector(i)));
-      double est = s.encoding.EstimateCount(log.Vector(i));
+      double est = s.Model().EstimateCount(log.Vector(i));
       acc += std::fabs(est - truth) / truth;
     }
     return acc / static_cast<double>(log.NumDistinct());
@@ -74,7 +74,7 @@ TEST(IntegrationTest, SingleFeatureCountsAreExactUnderAnyPartition) {
       FeatureVec pattern({f});
       double truth =
           static_cast<double>(log.CountContaining(pattern));
-      EXPECT_NEAR(s.encoding.EstimateCount(pattern), truth,
+      EXPECT_NEAR(s.Model().EstimateCount(pattern), truth,
                   1e-6 * std::max(1.0, truth))
           << "k=" << k << " feature=" << f;
     }
@@ -85,14 +85,15 @@ TEST(IntegrationTest, AdaptiveNeverWorseThanSingleCluster) {
   QueryLog log = SmallPocketLog();
   LogROptions opts;
   opts.seed = 13;
+  opts.encoder = "naive";  // the <= guarantee is a naive-error property
   double base = Compress(log, [&] {
                   LogROptions o = opts;
                   o.num_clusters = 1;
                   return o;
-                }()).encoding.Error();
+                }()).Model().Error();
   LogRSummary adaptive = CompressAdaptive(log, 16, opts);
-  EXPECT_LE(adaptive.encoding.Error(), base + 1e-9);
-  EXPECT_LE(adaptive.encoding.NumComponents(), 16u);
+  EXPECT_LE(adaptive.Model().Error(), base + 1e-9);
+  EXPECT_LE(adaptive.Model().NumComponents(), 16u);
 }
 
 TEST(IntegrationTest, AdaptiveMatchesOrBeatsFlatKMeansOnMixtures) {
@@ -102,8 +103,9 @@ TEST(IntegrationTest, AdaptiveMatchesOrBeatsFlatKMeansOnMixtures) {
   LogROptions opts;
   opts.seed = 17;
   opts.num_clusters = 12;
-  double flat = Compress(log, opts).encoding.Error();
-  double adaptive = CompressAdaptive(log, 12, opts).encoding.Error();
+  opts.encoder = "naive";  // compare naive errors at equal K
+  double flat = Compress(log, opts).Model().Error();
+  double adaptive = CompressAdaptive(log, 12, opts).Model().Error();
   EXPECT_LT(adaptive, flat * 1.25);
 }
 
@@ -113,8 +115,8 @@ TEST(IntegrationTest, AdaptiveStopsAtZeroError) {
   log.Add(FeatureVec({0, 1, 2}), 100);
   log.Add(FeatureVec({0, 1, 2}), 50);
   LogRSummary s = CompressAdaptive(log, 8, LogROptions());
-  EXPECT_EQ(s.encoding.NumComponents(), 1u);
-  EXPECT_NEAR(s.encoding.Error(), 0.0, 1e-12);
+  EXPECT_EQ(s.Model().NumComponents(), 1u);
+  EXPECT_NEAR(s.Model().Error(), 0.0, 1e-12);
 }
 
 TEST(IntegrationTest, BankFunnelSurvivesNoise) {
@@ -130,8 +132,8 @@ TEST(IntegrationTest, BankFunnelSurvivesNoise) {
   LogROptions opts;
   opts.num_clusters = 6;
   LogRSummary s = Compress(log, opts);
-  EXPECT_GT(s.encoding.TotalVerbosity(), 0u);
-  EXPECT_GE(s.encoding.Error(), 0.0);
+  EXPECT_GT(s.Model().TotalVerbosity(), 0u);
+  EXPECT_GE(s.Model().Error(), 0.0);
 }
 
 TEST(IntegrationTest, CompressPersistReloadEstimate) {
@@ -141,9 +143,11 @@ TEST(IntegrationTest, CompressPersistReloadEstimate) {
   LogRSummary summary = Compress(log, opts);
 
   std::stringstream buffer;
-  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
-  PersistedSummary loaded;
   std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary loaded;
   ASSERT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
 
   // The reloaded summary answers a workload-analytics question (how
@@ -153,8 +157,8 @@ TEST(IntegrationTest, CompressPersistReloadEstimate) {
   ASSERT_NE(f, Vocabulary::kNotFound);
   FeatureId f2 = loaded.vocabulary.Find(from_messages);
   ASSERT_EQ(f, f2);  // codebook order preserved
-  EXPECT_NEAR(loaded.encoding.EstimateCount(FeatureVec({f2})),
-              summary.encoding.EstimateCount(FeatureVec({f})), 1e-9);
+  EXPECT_NEAR(loaded.model->EstimateCount(FeatureVec({f2})),
+              summary.Model().EstimateCount(FeatureVec({f})), 1e-9);
 }
 
 TEST(IntegrationTest, SynthesisImprovesWithError) {
@@ -166,8 +170,10 @@ TEST(IntegrationTest, SynthesisImprovesWithError) {
   LogRSummary coarse = Compress(log, opts);
   opts.num_clusters = 40;
   LogRSummary fine = Compress(log, opts);
-  SynthesisStats coarse_stats = EvaluateSynthesis(log, coarse.encoding, so);
-  SynthesisStats fine_stats = EvaluateSynthesis(log, fine.encoding, so);
+  SynthesisStats coarse_stats =
+      EvaluateSynthesis(log, *coarse.Model().AsNaiveMixture(), so);
+  SynthesisStats fine_stats =
+      EvaluateSynthesis(log, *fine.Model().AsNaiveMixture(), so);
   EXPECT_LE(fine_stats.synthesis_error, coarse_stats.synthesis_error + 0.05);
   EXPECT_LE(fine_stats.marginal_deviation,
             coarse_stats.marginal_deviation + 0.05);

@@ -181,7 +181,7 @@ TEST(PipelineTest, DeterministicAcrossThreadCounts) {
     LogRSummary s = run(&pool);
     EXPECT_EQ(s.assignment, base.assignment) << threads << " threads";
     // Error must match to the bit, not approximately.
-    EXPECT_EQ(s.encoding.Error(), base.encoding.Error())
+    EXPECT_EQ(s.Model().Error(), base.Model().Error())
         << threads << " threads";
   }
 }
@@ -199,7 +199,7 @@ TEST(PipelineTest, AdaptiveDeterministicAcrossThreadCounts) {
   LogRSummary a = run(&serial);
   LogRSummary b = run(&wide);
   EXPECT_EQ(a.assignment, b.assignment);
-  EXPECT_EQ(a.encoding.Error(), b.encoding.Error());
+  EXPECT_EQ(a.Model().Error(), b.Model().Error());
 }
 
 TEST(PipelineTest, StageTimingsAreOrdered) {
@@ -211,19 +211,28 @@ TEST(PipelineTest, StageTimingsAreOrdered) {
   EXPECT_GE(s.total_seconds, s.cluster_seconds);
 }
 
-TEST(PipelineTest, RefineStageNeverWorsensError) {
+TEST(PipelineTest, RefinedEncoderNeverWorsensError) {
   QueryLog log = GroupedLog(3, 12, 59);
   LogROptions opts;
   opts.num_clusters = 2;
+  // The legacy refine_patterns knob routes to the "refined" encoder.
   opts.refine_patterns = 4;
   LogRSummary s = Compress(log, opts);
-  EXPECT_LE(s.refined_error, s.encoding.Error() + 1e-9);
-  EXPECT_EQ(s.component_patterns.size(), s.encoding.NumComponents());
-  // Without refinement the refined error reports the naive error.
+  EXPECT_STREQ(s.Model().EncoderName(), "refined");
+  EXPECT_LE(s.Model().Error(), s.Model().BaseError() + 1e-9);
+  for (std::size_t c = 0; c < s.Model().NumComponents(); ++c) {
+    EXPECT_LE(s.Model().ComponentPatterns(c).size(), 4u) << c;
+    // Verbosity counts retained patterns on top of the naive marginals.
+    EXPECT_GE(s.Model().ComponentVerbosity(c),
+              s.Model().ComponentFeatures(c).size());
+  }
+  // The naive encoder reports BaseError == Error and no patterns.
   opts.refine_patterns = 0;
+  opts.encoder = "naive";
   LogRSummary plain = Compress(log, opts);
-  EXPECT_EQ(plain.refined_error, plain.encoding.Error());
-  EXPECT_TRUE(plain.component_patterns.empty());
+  EXPECT_STREQ(plain.Model().EncoderName(), "naive");
+  EXPECT_EQ(plain.Model().Error(), plain.Model().BaseError());
+  EXPECT_TRUE(plain.Model().ComponentPatterns(0).empty());
 }
 
 // A deliberately trivial backend: assigns vector i to cluster i % k.
@@ -263,12 +272,12 @@ TEST(PipelineTest, RuntimeRegisteredBackendWorksEndToEnd) {
   for (std::size_t i = 0; i < s.assignment.size(); ++i) {
     EXPECT_EQ(s.assignment[i], static_cast<int>(i % 5));
   }
-  EXPECT_EQ(s.encoding.NumComponents(), 5u);
-  EXPECT_GE(s.encoding.Error(), -1e-9);
-  EXPECT_GT(s.encoding.TotalVerbosity(), 0u);
+  EXPECT_EQ(s.Model().NumComponents(), 5u);
+  EXPECT_GE(s.Model().Error(), -1e-9);
+  EXPECT_GT(s.Model().TotalVerbosity(), 0u);
   // The backend also drives the adaptive strategy's bisection stage.
   LogRSummary adaptive = CompressAdaptive(log, 4, opts);
-  EXPECT_LE(adaptive.encoding.NumComponents(), 4u);
+  EXPECT_LE(adaptive.Model().NumComponents(), 4u);
 }
 
 TEST(PipelineTest, ErrorTargetHonorsExplicitBackend) {
@@ -282,10 +291,10 @@ TEST(PipelineTest, ErrorTargetHonorsExplicitBackend) {
   // With a 0-nat target the search runs to max_clusters on the fake
   // backend; with the default (empty) backend it rides hierarchical cuts.
   LogRSummary fake = CompressToErrorTarget(log, 0.0, 3, opts);
-  EXPECT_EQ(fake.encoding.NumComponents(), 3u);
+  EXPECT_EQ(fake.Model().NumComponents(), 3u);
   LogROptions plain;
   LogRSummary hier = CompressToErrorTarget(log, 0.5, 100, plain);
-  EXPECT_LE(hier.encoding.Error(), 0.5 + 1e-9);
+  EXPECT_LE(hier.Model().Error(), 0.5 + 1e-9);
 }
 
 }  // namespace

@@ -27,17 +27,19 @@ TEST(SerializationTest, RoundTripPreservesEstimates) {
   LogRSummary summary = Compress(log, opts);
 
   std::stringstream buffer;
-  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
-  PersistedSummary loaded;
   std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary loaded;
   ASSERT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
 
-  EXPECT_EQ(loaded.encoding.NumComponents(),
-            summary.encoding.NumComponents());
-  EXPECT_EQ(loaded.encoding.TotalVerbosity(),
-            summary.encoding.TotalVerbosity());
-  EXPECT_NEAR(loaded.encoding.Error(), summary.encoding.Error(), 1e-9);
-  EXPECT_EQ(loaded.encoding.LogSize(), summary.encoding.LogSize());
+  EXPECT_STREQ(loaded.model->EncoderName(), summary.Model().EncoderName());
+  EXPECT_EQ(loaded.model->NumComponents(), summary.Model().NumComponents());
+  EXPECT_EQ(loaded.model->TotalVerbosity(),
+            summary.Model().TotalVerbosity());
+  EXPECT_NEAR(loaded.model->Error(), summary.Model().Error(), 1e-9);
+  EXPECT_EQ(loaded.model->LogSize(), summary.Model().LogSize());
   EXPECT_EQ(loaded.vocabulary.size(), log.vocabulary().size());
 
   // Every pattern estimate must be identical after the round trip.
@@ -48,10 +50,10 @@ TEST(SerializationTest, RoundTripPreservesEstimates) {
       if (rng.NextBernoulli(0.5)) ids.push_back(f);
     }
     FeatureVec pattern(std::move(ids));
-    EXPECT_NEAR(loaded.encoding.EstimateCount(pattern),
-                summary.encoding.EstimateCount(pattern), 1e-9);
-    EXPECT_NEAR(loaded.encoding.EstimateMarginal(pattern),
-                summary.encoding.EstimateMarginal(pattern), 1e-12);
+    EXPECT_NEAR(loaded.model->EstimateCount(pattern),
+                summary.Model().EstimateCount(pattern), 1e-9);
+    EXPECT_NEAR(loaded.model->EstimateMarginal(pattern),
+                summary.Model().EstimateMarginal(pattern), 1e-12);
   }
 }
 
@@ -59,9 +61,11 @@ TEST(SerializationTest, FeatureTextWithSpacesSurvives) {
   QueryLog log = MakeLog();
   LogRSummary summary = Compress(log, LogROptions());
   std::stringstream buffer;
-  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
-  PersistedSummary loaded;
   std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary loaded;
   ASSERT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
   Feature f{FeatureClause::kWhere, "status = ?"};
   EXPECT_NE(loaded.vocabulary.Find(f), Vocabulary::kNotFound);
@@ -79,7 +83,8 @@ TEST(SerializationTest, RejectsTruncatedInput) {
   QueryLog log = MakeLog();
   LogRSummary summary = Compress(log, LogROptions());
   std::stringstream buffer;
-  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
+  WriteSummary(log.vocabulary(), *summary.Model().AsNaiveMixture(),
+               &buffer);
   std::string text = buffer.str();
   for (std::size_t cut : {text.size() / 4, text.size() / 2}) {
     std::stringstream truncated(text.substr(0, cut));
@@ -181,7 +186,10 @@ TEST(SerializationTest, FuzzedInputNeverCrashesTheReader) {
   opts.num_clusters = 2;
   LogRSummary summary = Compress(log, opts);
   std::stringstream buffer;
-  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
+  std::string write_error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &write_error))
+      << write_error;
   const std::string valid = buffer.str();
 
   Pcg32 rng(33);
@@ -206,9 +214,11 @@ TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
   LogRSummary summary = Compress(log, LogROptions());
   std::stringstream buffer;
   buffer << "# produced by test\n";
-  WriteSummary(log.vocabulary(), summary.encoding, &buffer);
-  PersistedSummary loaded;
   std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary loaded;
   EXPECT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
 }
 
@@ -218,11 +228,11 @@ TEST(SerializationTest, FileRoundTrip) {
   std::string path = "/tmp/logr_serialization_test.logr";
   std::string error;
   ASSERT_TRUE(
-      WriteSummaryFile(path, log.vocabulary(), summary.encoding, &error))
+      WriteSummaryFile(path, log.vocabulary(), summary.Model(), &error))
       << error;
   PersistedSummary loaded;
   ASSERT_TRUE(ReadSummaryFile(path, &loaded, &error)) << error;
-  EXPECT_NEAR(loaded.encoding.Error(), summary.encoding.Error(), 1e-9);
+  EXPECT_NEAR(loaded.model->Error(), summary.Model().Error(), 1e-9);
   std::remove(path.c_str());
 }
 

@@ -61,6 +61,12 @@ struct ComponentKey {
   }
 };
 
+/// The naive payload behind a summary's facade (these tests exercise
+/// the naive merge machinery, so options pin encoder = "naive").
+const NaiveMixtureEncoding& Mix(const LogRSummary& s) {
+  return *s.Model().AsNaiveMixture();
+}
+
 std::vector<ComponentKey> SortedKeys(const NaiveMixtureEncoding& e) {
   std::vector<ComponentKey> keys;
   keys.reserve(e.NumComponents());
@@ -98,6 +104,7 @@ TEST(ShardedTest, SingleShardMatchesMonolithicExactly) {
   LogROptions opts;
   opts.num_clusters = 6;
   opts.seed = 29;
+  opts.encoder = "naive";
   LogRSummary mono = Compress(log, opts);
   opts.num_shards = 1;
   LogRSummary sharded = CompressSharded(log, opts);
@@ -105,11 +112,10 @@ TEST(ShardedTest, SingleShardMatchesMonolithicExactly) {
   // Reconcile is the identity here (one shard's components already fit
   // K), so the summary must match the monolithic fit component for
   // component — exactly, not approximately.
-  EXPECT_EQ(SortedKeys(mono.encoding), SortedKeys(sharded.encoding));
-  EXPECT_NEAR(mono.encoding.Error(), sharded.encoding.Error(), 1e-12);
-  EXPECT_EQ(mono.encoding.TotalVerbosity(),
-            sharded.encoding.TotalVerbosity());
-  EXPECT_EQ(mono.encoding.LogSize(), sharded.encoding.LogSize());
+  EXPECT_EQ(SortedKeys(Mix(mono)), SortedKeys(Mix(sharded)));
+  EXPECT_NEAR(Mix(mono).Error(), Mix(sharded).Error(), 1e-12);
+  EXPECT_EQ(Mix(mono).TotalVerbosity(), Mix(sharded).TotalVerbosity());
+  EXPECT_EQ(Mix(mono).LogSize(), Mix(sharded).LogSize());
 
   // The assignments describe the same partition up to label renaming.
   ASSERT_EQ(mono.assignment.size(), sharded.assignment.size());
@@ -134,7 +140,8 @@ TEST(ShardedTest, ErrorWithinFivePercentOfMonolithic) {
     LogROptions opts;
     opts.num_clusters = 8;
     opts.seed = 17;
-    const double mono = Compress(c.log, opts).encoding.Error();
+    opts.encoder = "naive";
+    const double mono = Compress(c.log, opts).Model().Error();
     for (std::size_t s : {2u, 4u, 8u}) {
       for (ShardPolicy policy :
            {ShardPolicy::kHashDistinct, ShardPolicy::kContiguousRange}) {
@@ -142,8 +149,8 @@ TEST(ShardedTest, ErrorWithinFivePercentOfMonolithic) {
         sh.num_shards = s;
         sh.shard_policy = policy;
         LogRSummary summary = Compress(c.log, sh);
-        EXPECT_LE(summary.encoding.NumComponents(), 8u);
-        EXPECT_LE(summary.encoding.Error(), mono * 1.05 + 1e-9)
+        EXPECT_LE(summary.Model().NumComponents(), 8u);
+        EXPECT_LE(summary.Model().Error(), mono * 1.05 + 1e-9)
             << c.name << " S=" << s << " policy=" << ShardPolicyName(policy);
       }
     }
@@ -157,6 +164,7 @@ TEST(ShardedTest, BitIdenticalAcrossThreadCounts) {
     opts.num_clusters = 5;
     opts.num_shards = 4;
     opts.seed = 43;
+    opts.encoder = "naive";
     opts.pool = pool;
     return CompressSharded(log, opts);
   };
@@ -166,9 +174,9 @@ TEST(ShardedTest, BitIdenticalAcrossThreadCounts) {
     ThreadPool pool(threads);
     LogRSummary s = run(&pool);
     EXPECT_EQ(s.assignment, base.assignment) << threads << " threads";
-    EXPECT_EQ(s.encoding.Error(), base.encoding.Error())
+    EXPECT_EQ(s.Model().Error(), base.Model().Error())
         << threads << " threads";
-    EXPECT_EQ(SortedKeys(s.encoding), SortedKeys(base.encoding))
+    EXPECT_EQ(SortedKeys(Mix(s)), SortedKeys(Mix(base)))
         << threads << " threads";
   }
 }
@@ -183,7 +191,8 @@ TEST(ShardedTest, MergeIsIndependentOfPartOrder) {
     QueryLog sub = log.Subset(indices);
     LogROptions opts;
     opts.num_clusters = 3;
-    parts.push_back(Compress(sub, opts).encoding);
+    opts.encoder = "naive";
+    parts.push_back(Mix(Compress(sub, opts)));
   }
   NaiveMixtureEncoding forward =
       NaiveMixtureEncoding::Merge({&parts[0], &parts[1], &parts[2]});
@@ -246,6 +255,7 @@ TEST(ShardedTest, OfflineSummaryMergeMatchesInProcessSharding) {
   LogROptions opts;
   opts.num_clusters = 4;
   opts.seed = 11;
+  opts.encoder = "naive";
 
   // Compress each shard separately and round-trip it through the text
   // format — the "compress each day's log, merge the week" workflow.
@@ -260,7 +270,7 @@ TEST(ShardedTest, OfflineSummaryMergeMatchesInProcessSharding) {
     QueryLog sub = log.Subset(shards[s]);
     LogRSummary summary = Compress(sub, per_shard);
     std::stringstream buffer;
-    WriteSummary(sub.vocabulary(), summary.encoding, &buffer);
+    WriteSummary(sub.vocabulary(), Mix(summary), &buffer);
     std::string error;
     ASSERT_TRUE(ReadSummary(&buffer, &parts[s], &error)) << error;
   }
@@ -276,13 +286,13 @@ TEST(ShardedTest, OfflineSummaryMergeMatchesInProcessSharding) {
   LogRSummary in_process = CompressSharded(log, sharded_opts);
 
   ASSERT_EQ(merged.encoding.NumComponents(),
-            in_process.encoding.NumComponents());
+            Mix(in_process).NumComponents());
   for (std::size_t c = 0; c < merged.encoding.NumComponents(); ++c) {
     EXPECT_EQ(ComponentKey::Of(merged.encoding.Component(c)),
-              ComponentKey::Of(in_process.encoding.Component(c)))
+              ComponentKey::Of(Mix(in_process).Component(c)))
         << "component " << c;
   }
-  EXPECT_EQ(merged.encoding.Error(), in_process.encoding.Error());
+  EXPECT_EQ(merged.encoding.Error(), Mix(in_process).Error());
   EXPECT_EQ(merged.vocabulary.size(), log.vocabulary().size());
 }
 
@@ -305,7 +315,7 @@ TEST(ShardedTest, MergeSummariesUnionsDistinctVocabularies) {
     const QueryLog& day = i == 0 ? day1 : day2;
     LogRSummary summary = Compress(day, opts);
     std::stringstream buffer;
-    WriteSummary(day.vocabulary(), summary.encoding, &buffer);
+    WriteSummary(day.vocabulary(), Mix(summary), &buffer);
     ASSERT_TRUE(ReadSummary(&buffer, &parts[i], &error)) << error;
   }
   PersistedSummary merged;
@@ -313,17 +323,18 @@ TEST(ShardedTest, MergeSummariesUnionsDistinctVocabularies) {
   EXPECT_EQ(merged.vocabulary.size(), 3u);
   EXPECT_EQ(merged.encoding.LogSize(), 40u);
 
-  // "FROM messages" occurred in all 40 queries of the merged week.
+  // "FROM messages" occurred in all 40 queries of the merged week. The
+  // loaded facade answers identically to the payload.
   FeatureId from_id =
       merged.vocabulary.Find({FeatureClause::kFrom, "messages"});
   ASSERT_NE(from_id, Vocabulary::kNotFound);
-  EXPECT_NEAR(merged.encoding.EstimateCount(FeatureVec({from_id})), 40.0,
+  EXPECT_NEAR(merged.model->EstimateCount(FeatureVec({from_id})), 40.0,
               1e-9);
   // "WHERE status = ?" only on day 2.
   FeatureId where_id =
       merged.vocabulary.Find({FeatureClause::kWhere, "status = ?"});
   ASSERT_NE(where_id, Vocabulary::kNotFound);
-  EXPECT_NEAR(merged.encoding.EstimateCount(FeatureVec({where_id})), 30.0,
+  EXPECT_NEAR(merged.model->EstimateCount(FeatureVec({where_id})), 30.0,
               1e-9);
 }
 
@@ -339,13 +350,14 @@ TEST(ShardedTest, MergingOverlappingSummariesKeepsErrorNonNegative) {
   log.Add(FeatureVec({1}), 5);
   LogROptions opts;
   opts.num_clusters = 1;
+  opts.encoder = "naive";
   LogRSummary summary = Compress(log, opts);
 
   std::vector<PersistedSummary> parts(2);
   std::string error;
   for (int i = 0; i < 2; ++i) {
     std::stringstream buffer;
-    WriteSummary(log.vocabulary(), summary.encoding, &buffer);
+    WriteSummary(log.vocabulary(), Mix(summary), &buffer);
     ASSERT_TRUE(ReadSummary(&buffer, &parts[i], &error)) << error;
   }
   PersistedSummary merged;

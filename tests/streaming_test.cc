@@ -130,12 +130,18 @@ TEST(StreamingTest, ComparableToBatchCompressionOnRealWorkload) {
 
   LogROptions batch_opts;
   batch_opts.num_clusters = 12;
-  double batch_error = Compress(log, batch_opts).encoding.Error();
+  batch_opts.encoder = "naive";  // streaming snapshots are naive mixtures
+  double batch_error = Compress(log, batch_opts).Model().Error();
   // Streaming routing is greedy; allow slack but require the same league.
   EXPECT_LT(stream.Error(), batch_error * 1.8 + 1.0);
   // And it must beat no clustering at all.
   batch_opts.num_clusters = 1;
-  EXPECT_LT(stream.Error(), Compress(log, batch_opts).encoding.Error());
+  EXPECT_LT(stream.Error(), Compress(log, batch_opts).Model().Error());
+  // The facade snapshot reports the same statistics as the raw mixture.
+  std::shared_ptr<const WorkloadModel> model = stream.SnapshotModel();
+  EXPECT_STREQ(model->EncoderName(), "naive");
+  EXPECT_NEAR(model->Error(), stream.Error(), 1e-9);
+  EXPECT_EQ(model->LogSize(), stream.TotalQueries());
 }
 
 TEST(StreamingTest, SnapshotMatchesBatchRebuildPerComponent) {
