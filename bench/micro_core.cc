@@ -4,6 +4,11 @@
 // partitioning, and sampled-Deviation estimation.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
 #include "bench_common.h"
 #include "cluster/distance.h"
 #include "core/logr_compressor.h"
@@ -12,6 +17,8 @@
 #include "core/naive_encoding.h"
 #include "maxent/deviation.h"
 #include "sql/parser.h"
+#include "util/check.h"
+#include "workload/binary_log.h"
 #include "workload/extractor.h"
 #include "workload/loader.h"
 
@@ -82,6 +89,90 @@ void BM_TrueCountScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrueCountScan);
+
+const std::vector<LogEntry>& BankEntriesSingleton() {
+  // Same options (including LOGR_BANK_SCALE) as every other bank bench.
+  static const std::vector<LogEntry>* kEntries =
+      new std::vector<LogEntry>(GenerateBankLog(BankOptions()));
+  return *kEntries;
+}
+
+/// The bank log pre-serialized to the logr-log v1 columnar image.
+const std::string& BankBinaryImageSingleton() {
+  static const std::string* kImage = [] {
+    LogLoader loader = LoadEntries(BankEntriesSingleton());
+    std::ostringstream out;
+    std::string error;
+    LOGR_CHECK_MSG(BinaryLogWriter::Write(loader.log(),
+                                          loader.Summary("bank"), &out,
+                                          &error),
+                   error.c_str());
+    return new std::string(out.str());
+  }();
+  return *kImage;
+}
+
+void BM_LoadTextBank(benchmark::State& state) {
+  // The full text funnel: lex + parse + regularize + featurize every
+  // statement of the bank log. This is the cost the binary format
+  // removes from every bench and production run.
+  const std::vector<LogEntry>& entries = BankEntriesSingleton();
+  std::size_t distinct = 0;
+  for (auto _ : state) {
+    LogLoader loader;
+    for (const LogEntry& e : entries) loader.AddSql(e.sql, e.count);
+    distinct = loader.log().NumDistinct();
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.counters["templates"] = static_cast<double>(distinct);
+  state.counters["statements"] = static_cast<double>(entries.size());
+}
+BENCHMARK(BM_LoadTextBank)->Unit(benchmark::kMillisecond);
+
+void BM_LoadBinaryBank(benchmark::State& state) {
+  // Eager binary load of the same log: validate + checksum + materialize
+  // a full QueryLog. No SQL is touched.
+  const std::string& image = BankBinaryImageSingleton();
+  std::size_t distinct = 0;
+  for (auto _ : state) {
+    LoadedBinaryLog loaded;
+    std::string error;
+    LOGR_CHECK_MSG(
+        ReadBinaryLog(image.data(), image.size(), &loaded, &error),
+        error.c_str());
+    distinct = loaded.log.NumDistinct();
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.counters["templates"] = static_cast<double>(distinct);
+  state.counters["bytes"] = static_cast<double>(image.size());
+}
+BENCHMARK(BM_LoadBinaryBank)->Unit(benchmark::kMillisecond);
+
+void BM_LoadBinaryBankMmap(benchmark::State& state) {
+  // Mmap-backed load: open + validate + serve statistics straight from
+  // the mapped columns, no materialization at all.
+  const std::string& image = BankBinaryImageSingleton();
+  // Per-process name: a fixed path would collide with (and, if owned by
+  // another user, fail against) earlier runs on a shared machine.
+  const std::string path = "/tmp/logr_micro_bank." +
+                           std::to_string(::getpid()) + ".logrl";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    LOGR_CHECK(static_cast<bool>(out));
+  }
+  double entropy = 0.0;
+  for (auto _ : state) {
+    MmapQueryLog log;
+    std::string error;
+    LOGR_CHECK_MSG(MmapQueryLog::Open(path, &log, &error), error.c_str());
+    entropy = log.EmpiricalEntropy();
+    benchmark::DoNotOptimize(entropy);
+  }
+  std::remove(path.c_str());
+  state.counters["entropy_nats"] = entropy;
+}
+BENCHMARK(BM_LoadBinaryBankMmap)->Unit(benchmark::kMillisecond);
 
 struct DistanceInput {
   std::vector<FeatureVec> vecs;

@@ -14,6 +14,14 @@
 //       per-shard mixtures (bit-deterministic for any thread count;
 //       mergeable encoders only). --refine N is a deprecated alias for
 //       --encoder refined --refine-patterns N.
+//       LOG may also be a binary .logrl file written by `convert` (or
+//       LogLoader::WriteBinary): it is detected by magic, mmap-loaded,
+//       and compressed without re-parsing any SQL.
+//   logr_cli convert [--name NAME] [--out FILE.logrl] [LOG]
+//       Reads a text SQL log (same line format as compress) and writes
+//       the logr-log v1 binary columnar file (feature-id columns +
+//       vocabulary + Table-1 stats; see workload/binary_log.h). The
+//       default output is LOG.logrl.
 //   logr_cli merge [--clusters K] [--method NAME] [--encoder NAME]
 //                  [--out FILE] SUMMARY...
 //       Merges summary files written by compress (e.g. one per day or
@@ -33,6 +41,7 @@
 //
 // Methods: kmeans (default), manhattan, minkowski, hamming, hierarchical,
 // adaptive, or any backend name registered in ClustererRegistry.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +57,7 @@
 #include "core/visualize.h"
 #include "data/pocketdata.h"
 #include "data/sql_log.h"
+#include "workload/binary_log.h"
 #include "workload/loader.h"
 
 namespace {
@@ -58,7 +68,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: logr_cli compress [--clusters K] [--method NAME] "
                "[--encoder NAME] [--refine-patterns N] [--shards S] "
-               "[--shard-policy hash|range] [--out FILE] [LOG]\n"
+               "[--shard-policy hash|range] [--out FILE] [LOG|LOG.logrl]\n"
+               "       logr_cli convert [--name NAME] [--out FILE.logrl] "
+               "[LOG]\n"
                "       logr_cli merge [--clusters K] [--method NAME] "
                "[--encoder NAME] [--out FILE] SUMMARY...\n"
                "       logr_cli info SUMMARY\n"
@@ -68,12 +80,17 @@ int Usage() {
   return 2;
 }
 
-// Strict non-negative integer parse: rejects trailing garbage ("8x")
-// and non-numbers ("five"), which atoll would silently read as 0.
+// Strict non-negative integer parse: rejects trailing garbage ("8x"),
+// non-numbers ("five"), which atoll would silently read as 0, and
+// out-of-range values, which strtoll would silently clamp to LLONG_MAX.
 bool ParseCount(const char* text, long long min_value, long long* out) {
   char* end = nullptr;
+  errno = 0;
   long long parsed = std::strtoll(text, &end, 10);
-  if (end == text || *end != '\0' || parsed < min_value) return false;
+  if (errno == ERANGE || end == text || *end != '\0' ||
+      parsed < min_value) {
+    return false;
+  }
   *out = parsed;
   return true;
 }
@@ -87,6 +104,39 @@ bool ParseClause(const std::string& label, FeatureClause* clause) {
   else if (label == "LIMIT") *clause = FeatureClause::kLimit;
   else return false;
   return true;
+}
+
+/// Feeds a text log (one statement per line, optional "COUNT<TAB>"
+/// prefix; an explicit count of 0 skips the line) through `loader`.
+/// Returns the number of non-empty lines read.
+std::uint64_t ReadTextLog(std::istream& in, LogLoader* loader) {
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::uint64_t count = 1;
+    std::string sql_text = line;
+    std::size_t tab = line.find('\t');
+    if (tab != std::string::npos) {
+      long long parsed;
+      if (ParseCount(line.substr(0, tab).c_str(), 0, &parsed)) {
+        count = static_cast<std::uint64_t>(parsed);
+        sql_text = line.substr(tab + 1);
+      }
+    }
+    loader->AddSql(sql_text, count);
+    ++lines;
+  }
+  return lines;
+}
+
+void PrintFunnel(std::uint64_t lines, const DatasetSummary& stats) {
+  std::printf("read %llu lines: %llu SELECT queries, %llu non-SELECT, "
+              "%llu unparseable\n",
+              static_cast<unsigned long long>(lines),
+              static_cast<unsigned long long>(stats.num_queries),
+              static_cast<unsigned long long>(stats.num_non_select),
+              static_cast<unsigned long long>(stats.num_parse_errors));
 }
 
 /// Resolves --encoder, printing the registered names on failure.
@@ -175,48 +225,47 @@ int RunCompress(int argc, char** argv) {
     return 2;
   }
 
-  std::ifstream file;
-  std::istream* in = &std::cin;
-  if (!in_path.empty()) {
-    file.open(in_path);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", in_path.c_str());
+  QueryLog log;
+  if (!in_path.empty() && IsBinaryLogFile(in_path)) {
+    // Binary fast path: mmap the columns, skip the SQL parse stage.
+    MmapQueryLog binary;
+    std::string bin_error;
+    if (!MmapQueryLog::Open(in_path, &binary, &bin_error)) {
+      std::fprintf(stderr, "%s\n", bin_error.c_str());
       return 1;
     }
-    in = &file;
-  }
-
-  LogLoader loader;
-  std::string line;
-  std::uint64_t lines = 0;
-  while (std::getline(*in, line)) {
-    if (line.empty()) continue;
-    std::uint64_t count = 1;
-    std::string sql_text = line;
-    std::size_t tab = line.find('\t');
-    if (tab != std::string::npos) {
-      long long parsed = std::atoll(line.substr(0, tab).c_str());
-      if (parsed > 0) {
-        count = static_cast<std::uint64_t>(parsed);
-        sql_text = line.substr(tab + 1);
+    const DatasetSummary& stats = binary.summary();
+    std::printf("loaded binary log %s (%s): %llu SELECT queries, %zu "
+                "distinct templates, %zu features\n",
+                in_path.c_str(), binary.mapped() ? "mmap" : "eager",
+                static_cast<unsigned long long>(binary.TotalQueries()),
+                binary.NumDistinct(), binary.NumFeatures());
+    std::printf("stored funnel: %llu SELECT queries, %llu non-SELECT, "
+                "%llu unparseable\n",
+                static_cast<unsigned long long>(stats.num_queries),
+                static_cast<unsigned long long>(stats.num_non_select),
+                static_cast<unsigned long long>(stats.num_parse_errors));
+    log = binary.Materialize();
+  } else {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (!in_path.empty()) {
+      file.open(in_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", in_path.c_str());
+        return 1;
       }
+      in = &file;
     }
-    loader.AddSql(sql_text, count);
-    ++lines;
+    LogLoader loader;
+    std::uint64_t lines = ReadTextLog(*in, &loader);
+    PrintFunnel(lines, loader.Summary("cli"));
+    log = loader.TakeLog();
   }
-  DatasetSummary stats = loader.Summary("cli");
-  std::printf("read %llu lines: %llu SELECT queries, %llu non-SELECT, "
-              "%llu unparseable\n",
-              static_cast<unsigned long long>(lines),
-              static_cast<unsigned long long>(stats.num_queries),
-              static_cast<unsigned long long>(stats.num_non_select),
-              static_cast<unsigned long long>(stats.num_parse_errors));
-  if (stats.num_queries == 0) {
+  if (log.TotalQueries() == 0) {
     std::fprintf(stderr, "no usable queries\n");
     return 1;
   }
-
-  QueryLog log = loader.TakeLog();
   LogRSummary summary;
   if (method == "adaptive") {
     if (shards > 1) {
@@ -267,6 +316,56 @@ int RunCompress(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int RunConvert(int argc, char** argv) {
+  std::string out_path;
+  std::string in_path;
+  std::string name = "cli";
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      name = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      in_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (!in_path.empty() && IsBinaryLogFile(in_path)) {
+    std::fprintf(stderr, "%s is already a binary log\n", in_path.c_str());
+    return 2;
+  }
+  if (out_path.empty()) {
+    out_path = in_path.empty() ? "log.logrl" : in_path + ".logrl";
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!in_path.empty()) {
+    file.open(in_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", in_path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+  LogLoader loader;
+  std::uint64_t lines = ReadTextLog(*in, &loader);
+  DatasetSummary stats = loader.Summary(name);
+  PrintFunnel(lines, stats);
+  std::string error;
+  if (!loader.WriteBinary(out_path, name, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu distinct templates, %zu features) — feed it "
+              "back to `logr_cli compress` to skip the parse stage\n",
+              out_path.c_str(), loader.log().NumDistinct(),
+              loader.log().NumFeatures());
   return 0;
 }
 
@@ -452,6 +551,7 @@ int RunDemo() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "compress") == 0) return RunCompress(argc, argv);
+  if (std::strcmp(argv[1], "convert") == 0) return RunConvert(argc, argv);
   if (std::strcmp(argv[1], "merge") == 0) return RunMerge(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "estimate") == 0) return RunEstimate(argc, argv);

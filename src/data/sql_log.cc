@@ -1,5 +1,7 @@
 #include "data/sql_log.h"
 
+#include "workload/binary_log.h"
+
 namespace logr {
 
 LogLoader LoadEntries(const std::vector<LogEntry>& entries,
@@ -8,6 +10,10 @@ LogLoader LoadEntries(const std::vector<LogEntry>& entries,
   for (const LogEntry& e : entries) {
     loader.AddSql(e.sql, e.count);
   }
+  // Under LOGR_BINLOG_VERIFY=1 every generated log also proves the
+  // binary format round-trips it bit-exactly (no-op otherwise), so the
+  // CI leg with that env keeps both load paths green across the suite.
+  VerifyBinaryRoundTripIfEnabled(loader);
   return loader;
 }
 

@@ -3,12 +3,14 @@
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "util/check.h"
+#include "workload/binary_log.h"
 
 namespace logr {
 
 LogLoader::LogLoader(Options opts) : opts_(std::move(opts)) {}
 
 bool LogLoader::AddSql(std::string_view raw_sql, std::uint64_t count) {
+  if (count == 0) return false;  // zero occurrences: nothing to record
   sql::ParseResult parsed = sql::Parse(raw_sql);
   if (parsed.kind == sql::StatementKind::kParseError) {
     num_parse_errors_ += count;
@@ -47,6 +49,12 @@ bool LogLoader::AddSql(std::string_view raw_sql, std::uint64_t count) {
     }
   }
   return true;
+}
+
+bool LogLoader::WriteBinary(const std::string& path,
+                            const std::string& dataset_name,
+                            std::string* error) const {
+  return BinaryLogWriter::WriteFile(path, log_, Summary(dataset_name), error);
 }
 
 DatasetSummary LogLoader::Summary(std::string name) const {

@@ -54,7 +54,17 @@ class LogLoader {
 
   /// Classifies, regularizes and accumulates one statement; `count`
   /// copies are recorded. Returns true if it was a valid SELECT.
+  /// `count == 0` records nothing — not even classification counters —
+  /// and returns false: a zero-multiplicity log record carries no
+  /// information, and counting its template as "distinct" would skew
+  /// every Table-1 statistic.
   bool AddSql(std::string_view raw_sql, std::uint64_t count = 1);
+
+  /// Serializes the accumulated log plus the Table-1 summary (under
+  /// `dataset_name`) as a logr-log v1 binary file (.logrl; see
+  /// workload/binary_log.h). Reloading it skips the SQL parse stage.
+  bool WriteBinary(const std::string& path, const std::string& dataset_name,
+                   std::string* error) const;
 
   /// The accumulated constant-free log (the object all compression
   /// experiments run on).

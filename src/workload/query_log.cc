@@ -9,7 +9,7 @@ namespace logr {
 
 void QueryLog::Add(const FeatureVec& q, std::uint64_t count,
                    std::string sample_sql) {
-  LOGR_CHECK(count > 0);
+  if (count == 0) return;  // zero occurrences: nothing to record
   if (!q.ids.empty()) {
     std::size_t bound = static_cast<std::size_t>(q.ids.back()) + 1;
     if (bound > max_feature_bound_) max_feature_bound_ = bound;
@@ -25,6 +25,32 @@ void QueryLog::Add(const FeatureVec& q, std::uint64_t count,
     counts_[it->second] += count;
   }
   total_ += count;
+}
+
+QueryLog QueryLog::FromColumns(Vocabulary vocab,
+                               std::vector<FeatureVec> vectors,
+                               std::vector<std::uint64_t> counts,
+                               std::vector<std::string> sample_sql) {
+  LOGR_CHECK(vectors.size() == counts.size());
+  LOGR_CHECK(sample_sql.empty() || sample_sql.size() == vectors.size());
+  QueryLog out;
+  out.vocab_ = std::move(vocab);
+  out.index_.reserve(vectors.size());
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    LOGR_CHECK(counts[i] > 0);
+    if (!vectors[i].ids.empty()) {
+      std::size_t bound = static_cast<std::size_t>(vectors[i].ids.back()) + 1;
+      if (bound > out.max_feature_bound_) out.max_feature_bound_ = bound;
+    }
+    auto inserted = out.index_.emplace(vectors[i].HashKey(), i);
+    LOGR_CHECK_MSG(inserted.second, "duplicate vector in columns");
+    out.total_ += counts[i];
+  }
+  out.distinct_ = std::move(vectors);
+  out.counts_ = std::move(counts);
+  out.sql_ = std::move(sample_sql);
+  out.sql_.resize(out.distinct_.size());
+  return out;
 }
 
 std::uint64_t QueryLog::MaxMultiplicity() const {

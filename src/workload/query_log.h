@@ -27,8 +27,22 @@ class QueryLog {
 
   /// Adds `count` occurrences of vector `q`. `sample_sql` (optional) is
   /// retained for the first occurrence, for interpretability output.
+  /// `count == 0` is a no-op: recording zero occurrences carries no
+  /// information, and a zero-count distinct vector would corrupt
+  /// Probability / entropy downstream.
   void Add(const FeatureVec& q, std::uint64_t count = 1,
            std::string sample_sql = {});
+
+  /// Bulk-assembles a log from parallel columns of *distinct* vectors —
+  /// the binary loader's path (workload/binary_log.h), which skips the
+  /// per-Add dedup probe ordering. `sample_sql` may be empty or one
+  /// entry per vector. CHECK-fails on duplicate vectors, zero counts,
+  /// or column length mismatches; callers feeding untrusted data must
+  /// validate first (MmapQueryLog does).
+  static QueryLog FromColumns(Vocabulary vocab,
+                              std::vector<FeatureVec> vectors,
+                              std::vector<std::uint64_t> counts,
+                              std::vector<std::string> sample_sql);
 
   /// Number of distinct vectors.
   std::size_t NumDistinct() const { return distinct_.size(); }

@@ -159,6 +159,64 @@ TEST(QueryLogTest, AddMergesDuplicates) {
   EXPECT_EQ(log.MaxMultiplicity(), 5u);
 }
 
+TEST(QueryLogTest, AddWithZeroCountIsANoOp) {
+  QueryLog log;
+  log.Add(FeatureVec({1, 2}), 3);
+  // Zero occurrences of a NEW vector: no distinct entry may appear.
+  log.Add(FeatureVec({7}), 0);
+  // Zero occurrences of an existing vector: nothing accumulates.
+  log.Add(FeatureVec({1, 2}), 0);
+  EXPECT_EQ(log.NumDistinct(), 1u);
+  EXPECT_EQ(log.TotalQueries(), 3u);
+  // The skipped vector's ids must not widen the feature universe.
+  EXPECT_EQ(log.NumFeatures(), 3u);
+}
+
+TEST(LoaderTest, AddSqlWithZeroCountRecordsNothing) {
+  LogLoader loader;
+  loader.AddSql("SELECT a FROM t WHERE x = 5", 2);
+  // A zero-count record carries no information: not a query, not a
+  // distinct template, not even a funnel classification.
+  EXPECT_FALSE(loader.AddSql("SELECT b FROM u WHERE y = 1", 0));
+  EXPECT_FALSE(loader.AddSql("UPDATE t SET a = 1", 0));
+  EXPECT_FALSE(loader.AddSql("@@garbage@@", 0));
+  DatasetSummary s = loader.Summary("test");
+  EXPECT_EQ(s.num_queries, 2u);
+  EXPECT_EQ(s.num_non_select, 0u);
+  EXPECT_EQ(s.num_parse_errors, 0u);
+  EXPECT_EQ(s.num_distinct, 1u);
+  EXPECT_EQ(s.num_distinct_no_const, 1u);
+  EXPECT_EQ(loader.log().NumDistinct(), 1u);
+  EXPECT_EQ(loader.log().TotalQueries(), 2u);
+}
+
+TEST(QueryLogTest, FromColumnsMatchesIncrementalAdds) {
+  Vocabulary vocab;
+  FeatureId a = vocab.Intern({FeatureClause::kSelect, "a"});
+  FeatureId t = vocab.Intern({FeatureClause::kFrom, "t"});
+  FeatureId w = vocab.Intern({FeatureClause::kWhere, "x = ?"});
+  QueryLog incremental;
+  *incremental.mutable_vocabulary() = vocab;
+  incremental.Add(FeatureVec({a, t, w}), 5, "SELECT a FROM t WHERE x = 1");
+  incremental.Add(FeatureVec({a, t}), 2, "SELECT a FROM t");
+
+  QueryLog bulk = QueryLog::FromColumns(
+      vocab, {FeatureVec({a, t, w}), FeatureVec({a, t})}, {5, 2},
+      {"SELECT a FROM t WHERE x = 1", "SELECT a FROM t"});
+  EXPECT_EQ(bulk.NumDistinct(), incremental.NumDistinct());
+  EXPECT_EQ(bulk.TotalQueries(), incremental.TotalQueries());
+  EXPECT_EQ(bulk.NumFeatures(), incremental.NumFeatures());
+  for (std::size_t i = 0; i < bulk.NumDistinct(); ++i) {
+    EXPECT_EQ(bulk.Vector(i), incremental.Vector(i));
+    EXPECT_EQ(bulk.Multiplicity(i), incremental.Multiplicity(i));
+    EXPECT_EQ(bulk.SampleSql(i), incremental.SampleSql(i));
+  }
+  // The bulk path keeps the dedup index live.
+  bulk.Add(FeatureVec({a, t}), 1);
+  EXPECT_EQ(bulk.NumDistinct(), 2u);
+  EXPECT_EQ(bulk.TotalQueries(), 8u);
+}
+
 // Paper Example 2: four-query log; q1 = q3 has probability 0.5.
 TEST(QueryLogTest, PaperExampleTwoProbabilities) {
   QueryLog log;
