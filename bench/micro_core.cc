@@ -11,6 +11,8 @@
 
 #include "bench_common.h"
 #include "cluster/distance.h"
+#include "cluster/hierarchical.h"
+#include "cluster/spectral.h"
 #include "core/logr_compressor.h"
 #include "core/mixture.h"
 #include "core/streaming.h"
@@ -196,6 +198,23 @@ const DistanceInput& BankVectorsSingleton() {
 }
 
 void BM_DistanceMatrixSerial(benchmark::State& state) {
+  // The merge-kernel reference: sorted-id-list walks, serial. The packed
+  // kernel is measured against this baseline.
+  const DistanceInput& in = BankVectorsSingleton();
+  DistanceSpec spec;
+  spec.metric = Metric::kHamming;
+  for (auto _ : state) {
+    Matrix d = DistanceMatrixMerge(in.vecs, in.num_features, spec,
+                                   /*pool=*/nullptr);
+    benchmark::DoNotOptimize(d(0, 1));
+  }
+  state.counters["vectors"] = static_cast<double>(in.vecs.size());
+}
+BENCHMARK(BM_DistanceMatrixSerial)->Unit(benchmark::kMillisecond);
+
+void BM_PackedDistanceMatrix(benchmark::State& state) {
+  // XOR+popcount over the bit-packed pool, single-core (packing cost
+  // included). Target: >= 5x over BM_DistanceMatrixSerial on this log.
   const DistanceInput& in = BankVectorsSingleton();
   DistanceSpec spec;
   spec.metric = Metric::kHamming;
@@ -205,10 +224,15 @@ void BM_DistanceMatrixSerial(benchmark::State& state) {
     benchmark::DoNotOptimize(d(0, 1));
   }
   state.counters["vectors"] = static_cast<double>(in.vecs.size());
+  state.counters["words_per_vec"] =
+      static_cast<double>((in.num_features + 63) / 64);
 }
-BENCHMARK(BM_DistanceMatrixSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PackedDistanceMatrix)->Unit(benchmark::kMillisecond);
 
 void BM_DistanceMatrixParallel(benchmark::State& state) {
+  // Packed kernel + balanced block-tiled scheduling over the shared
+  // pool. Bit-identical to both serial paths; wall-clock scales with
+  // LOGR_THREADS on multi-core hardware.
   const DistanceInput& in = BankVectorsSingleton();
   DistanceSpec spec;
   spec.metric = Metric::kHamming;
@@ -221,6 +245,117 @@ void BM_DistanceMatrixParallel(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(pool->NumThreads());
 }
 BENCHMARK(BM_DistanceMatrixParallel)->Unit(benchmark::kMillisecond);
+
+const Matrix& BankDistanceMatrixSingleton() {
+  static const Matrix* kMatrix = [] {
+    const DistanceInput& in = BankVectorsSingleton();
+    DistanceSpec spec;
+    spec.metric = Metric::kHamming;
+    return new Matrix(
+        DistanceMatrix(in.vecs, in.num_features, spec, /*pool=*/nullptr));
+  }();
+  return *kMatrix;
+}
+
+void BM_Agglomerate(benchmark::State& state) {
+  // Cached-nearest NN-chain agglomeration over the bank distance matrix
+  // (the hierarchical backend's fit stage minus the matrix build).
+  const Matrix& d = BankDistanceMatrixSingleton();
+  ThreadPool* pool = ThreadPool::Shared();
+  for (auto _ : state) {
+    Dendrogram dg = AgglomerativeAverageLinkage(d, {}, pool);
+    benchmark::DoNotOptimize(dg.merge_a.data());
+  }
+  state.counters["leaves"] = static_cast<double>(d.rows());
+}
+BENCHMARK(BM_Agglomerate)->Unit(benchmark::kMillisecond);
+
+void BM_AgglomerateReference(benchmark::State& state) {
+  // The pre-change serial NN-chain (full nearest scans) — the
+  // bit-identity reference BM_Agglomerate is measured against.
+  const Matrix& d = BankDistanceMatrixSingleton();
+  for (auto _ : state) {
+    Dendrogram dg = AgglomerativeAverageLinkageReference(d, {});
+    benchmark::DoNotOptimize(dg.merge_a.data());
+  }
+  state.counters["leaves"] = static_cast<double>(d.rows());
+}
+BENCHMARK(BM_AgglomerateReference)->Unit(benchmark::kMillisecond);
+
+void BM_SpectralAffinity(benchmark::State& state) {
+  // Gaussian affinity + degree construction plus the median-bandwidth
+  // gather — the spectral stages this PR parallelized.
+  const Matrix& d = BankDistanceMatrixSingleton();
+  ThreadPool* pool = ThreadPool::Shared();
+  for (auto _ : state) {
+    double sigma = MedianNonzeroDistance(d, pool);
+    Vector degree;
+    Matrix w = GaussianAffinity(d, sigma, &degree, pool);
+    benchmark::DoNotOptimize(w(0, 1));
+    benchmark::DoNotOptimize(degree.data());
+  }
+  state.counters["vectors"] = static_cast<double>(d.rows());
+}
+BENCHMARK(BM_SpectralAffinity)->Unit(benchmark::kMillisecond);
+
+const NaiveMixtureEncoding& PooledComponentsSingleton() {
+  // A thousand-shard-scale pool: 4096 synthetic components over a few
+  // hundred features, the regime the former 1024-bounded greedy polish
+  // could not reach.
+  static const NaiveMixtureEncoding* kPool = [] {
+    constexpr std::size_t kComponents = 4096;
+    constexpr std::size_t kFeatures = 256;
+    std::vector<MixtureComponent> comps;
+    comps.reserve(kComponents);
+    std::uint64_t grand_total = 0;
+    for (std::size_t c = 0; c < kComponents; ++c) {
+      ComponentAccumulator acc;
+      // Three templates around a per-component anchor feature; counts
+      // and offsets vary with c so components are (mostly) distinct and
+      // fused groups keep a nonzero error.
+      const FeatureId base = static_cast<FeatureId>((c * 37) % kFeatures);
+      acc.Add(FeatureVec({base, static_cast<FeatureId>(
+                                    (base + 1 + c % 5) % kFeatures)}),
+              1 + (c % 7));
+      acc.Add(FeatureVec({base, static_cast<FeatureId>((base + 2) % kFeatures)}),
+              2);
+      acc.Add(FeatureVec({static_cast<FeatureId>((base + 3) % kFeatures)}), 1);
+      grand_total += acc.total();
+      comps.push_back(acc.FinalizeComponent(1));  // weights fixed below
+    }
+    for (MixtureComponent& comp : comps) {
+      comp.weight = static_cast<double>(comp.encoding.LogSize()) /
+                    static_cast<double>(grand_total);
+    }
+    return new NaiveMixtureEncoding(
+        NaiveMixtureEncoding::FromComponents(std::move(comps)));
+  }();
+  return *kPool;
+}
+
+void BM_Reconcile(benchmark::State& state) {
+  // Nearest-component-chain reconcile of Arg pooled components down to
+  // 64 — the sharded/offline-merge consolidation stage.
+  const NaiveMixtureEncoding& pool_enc = PooledComponentsSingleton();
+  const std::size_t take = static_cast<std::size_t>(state.range(0));
+  std::vector<MixtureComponent> subset;
+  subset.reserve(take);
+  for (std::size_t c = 0; c < take; ++c) {
+    subset.push_back(pool_enc.Component(c));
+  }
+  NaiveMixtureEncoding merged =
+      NaiveMixtureEncoding::FromComponents(std::move(subset));
+  ThreadPool* pool = ThreadPool::Shared();
+  double error = 0.0;
+  for (auto _ : state) {
+    NaiveMixtureEncoding reconciled = merged.Reconcile(64, pool);
+    error = reconciled.Error();
+    benchmark::DoNotOptimize(error);
+  }
+  state.counters["components"] = static_cast<double>(take);
+  state.counters["error_nats"] = error;
+}
+BENCHMARK(BM_Reconcile)->Arg(512)->Arg(4096)->Unit(benchmark::kMillisecond);
 
 void BM_KMeansCompress(benchmark::State& state) {
   const QueryLog& log = PocketLogSingleton();

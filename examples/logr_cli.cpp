@@ -22,13 +22,17 @@
 //       the logr-log v1 binary columnar file (feature-id columns +
 //       vocabulary + Table-1 stats; see workload/binary_log.h). The
 //       default output is LOG.logrl.
-//   logr_cli merge [--clusters K] [--method NAME] [--encoder NAME]
-//                  [--out FILE] SUMMARY...
+//   logr_cli merge [--clusters K] [--out FILE] SUMMARY...
 //       Merges summary files written by compress (e.g. one per day or
-//       per shard) into one, reconciling down to K clusters when the
-//       pooled components exceed K ("compress each day, merge the
-//       week"). Only mergeable summaries (naive, refined) pool; the
-//       output is always a naive summary.
+//       per shard) into one, reconciling down to K clusters by
+//       nearest-centroid-chain agglomeration when the pooled components
+//       exceed K ("compress each day, merge the week"). Only mergeable
+//       summaries (naive, refined) pool; the output is always a naive
+//       summary. --method is a deprecated no-op (merge never
+//       re-clusters with a backend); --encoder is removed — the flag
+//       never affected the output, so asking for anything but "naive"
+//       (tolerated with a warning) is now a loud error instead of a
+//       silent lie.
 //   logr_cli info SUMMARY
 //       Prints the summary's encoder, clusters, weights and verbosities.
 //   logr_cli estimate SUMMARY CLAUSE:TEXT [CLAUSE:TEXT ...]
@@ -71,8 +75,8 @@ int Usage() {
                "[--shard-policy hash|range] [--out FILE] [LOG|LOG.logrl]\n"
                "       logr_cli convert [--name NAME] [--out FILE.logrl] "
                "[LOG]\n"
-               "       logr_cli merge [--clusters K] [--method NAME] "
-               "[--encoder NAME] [--out FILE] SUMMARY...\n"
+               "       logr_cli merge [--clusters K] [--out FILE] "
+               "SUMMARY...\n"
                "       logr_cli info SUMMARY\n"
                "       logr_cli estimate SUMMARY CLAUSE:TEXT...\n"
                "       logr_cli visualize SUMMARY\n"
@@ -371,8 +375,6 @@ int RunConvert(int argc, char** argv) {
 
 int RunMerge(int argc, char** argv) {
   std::size_t clusters = 0;  // 0 = keep every pooled component
-  std::string method = "kmeans";
-  std::string encoder_name = "naive";
   std::string out_path = "merged.logr";
   std::vector<std::string> inputs;
   for (int i = 2; i < argc; ++i) {
@@ -385,9 +387,30 @@ int RunMerge(int argc, char** argv) {
       }
       clusters = static_cast<std::size_t>(parsed);
     } else if (arg == "--method" && i + 1 < argc) {
-      method = argv[++i];
+      // Deprecated: reconcile is nearest-centroid-chain agglomeration
+      // now and no longer consults a clustering backend.
+      std::fprintf(stderr,
+                   "warning: merge --method is deprecated and ignored "
+                   "(reconcile no longer uses a clustering backend)\n");
+      ++i;
     } else if (arg == "--encoder" && i + 1 < argc) {
-      encoder_name = argv[++i];
+      // Deprecated: the flag never had an effect (merge always emits a
+      // naive summary — patterns are log-dependent and cannot be
+      // re-ranked offline). Reject non-naive requests loudly instead of
+      // silently writing something else than asked.
+      const std::string requested = argv[++i];
+      if (requested != "naive") {
+        std::fprintf(stderr,
+                     "merge --encoder is removed: merged summaries are "
+                     "always naive (re-ranking '%s' patterns needs the "
+                     "original logs; re-compress with --encoder "
+                     "instead)\n",
+                     requested.c_str());
+        return 2;
+      }
+      std::fprintf(stderr,
+                   "warning: merge --encoder is deprecated; merged "
+                   "summaries are always naive\n");
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
@@ -398,26 +421,7 @@ int RunMerge(int argc, char** argv) {
   }
   if (inputs.empty()) return Usage();
 
-  const Encoder* encoder = ResolveEncoderArg(encoder_name);
-  if (encoder == nullptr) return 2;
-  if (!encoder->Mergeable()) {
-    std::fprintf(stderr,
-                 "merge requires a mergeable encoder (naive, refined); "
-                 "%s summaries cannot be pooled\n",
-                 encoder->Name());
-    return 2;
-  }
-
   LogROptions opts;
-  opts.encoder = encoder_name;
-  if (!ParseClusteringMethod(method, &opts.method)) {
-    if (ClustererRegistry::Instance().Find(method) == nullptr) {
-      std::fprintf(stderr, "unknown method %s\n", method.c_str());
-      return 2;
-    }
-    opts.backend = method;
-  }
-
   std::vector<PersistedSummary> parts(inputs.size());
   std::string error;
   for (std::size_t i = 0; i < inputs.size(); ++i) {

@@ -106,7 +106,7 @@ class HierarchicalClusterer : public Clusterer {
     ThreadPool* pool = req.pool ? req.pool : ThreadPool::Shared();
     Matrix d = DistanceMatrix(vecs, req.num_features, spec, pool);
     return std::make_unique<DendrogramModel>(
-        AgglomerativeAverageLinkage(d, weights));
+        AgglomerativeAverageLinkage(d, weights, pool));
   }
 };
 

@@ -7,6 +7,23 @@
 
 namespace logr {
 
+namespace {
+
+/// Upper bound on the packed pool's footprint (u64 words). 1 GiB: far
+/// above any workload the repo ships, low enough that a degenerate
+/// universe (millions of features x many vectors) falls back to the
+/// merge kernel instead of allocating absurdly.
+constexpr std::size_t kPackedBudgetWords = std::size_t{1} << 27;
+
+/// Tile edge for the block-tiled pairwise schedule. 128x128 tiles are
+/// big enough that per-tile dispatch overhead vanishes and small enough
+/// that the upper triangle splits into many near-equal work units, so
+/// the pool's dynamic claiming stays load-balanced (unlike row
+/// parallelism, where row i carries count-i columns).
+constexpr std::size_t kTile = 128;
+
+}  // namespace
+
 std::string DistanceSpec::Name() const {
   switch (metric) {
     case Metric::kEuclidean: return "euclidean";
@@ -24,9 +41,9 @@ std::size_t SymmetricDifference(const FeatureVec& a, const FeatureVec& b) {
   return a.size() + b.size() - 2 * inter;
 }
 
-double Distance(const FeatureVec& a, const FeatureVec& b, std::size_t n,
-                const DistanceSpec& spec) {
-  double diff = static_cast<double>(SymmetricDifference(a, b));
+double DistanceFromSymmetricDifference(std::size_t count, std::size_t n,
+                                       const DistanceSpec& spec) {
+  double diff = static_cast<double>(count);
   switch (spec.metric) {
     case Metric::kEuclidean:
       return std::sqrt(diff);
@@ -52,6 +69,17 @@ double Distance(const FeatureVec& a, const FeatureVec& b, std::size_t n,
   return 0.0;
 }
 
+double Distance(const FeatureVec& a, const FeatureVec& b, std::size_t n,
+                const DistanceSpec& spec) {
+  return DistanceFromSymmetricDifference(SymmetricDifference(a, b), n, spec);
+}
+
+bool PackedPoolFits(std::size_t count, std::size_t n,
+                    bool with_columns) {
+  return PackedVecPool::StorageWords(count, n, with_columns) <=
+         kPackedBudgetWords;
+}
+
 Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
                       const DistanceSpec& spec) {
   return DistanceMatrix(vecs, n, spec, ThreadPool::Shared());
@@ -59,6 +87,87 @@ Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
 
 Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
                       const DistanceSpec& spec, ThreadPool* pool) {
+  if (!PackedPoolFits(vecs.size(), n)) {
+    return DistanceMatrixMerge(vecs, n, spec, pool);
+  }
+  PackedVecPool packed(vecs, n);
+  return DistanceMatrix(packed, spec, pool);
+}
+
+Matrix DistanceMatrix(const PackedVecPool& packed, const DistanceSpec& spec,
+                      ThreadPool* pool) {
+  const std::size_t count = packed.size();
+  const std::size_t n = packed.num_features();
+  Matrix d(count, count);
+  if (count < 2) return d;
+  // The tiled kernel sweeps the transposed column planes.
+  LOGR_CHECK(packed.has_columns());
+
+  // A diff count never exceeds bits(i) + bits(j), so the metric mapping
+  // collapses to a table lookup — entries computed by the very function
+  // the merge kernel calls per pair, so the values stay bit-identical
+  // while the per-pair sqrt/pow/divide vanishes.
+  std::vector<double> lut(2 * packed.MaxSetBits() + 1);
+  for (std::size_t c = 0; c < lut.size(); ++c) {
+    lut[c] = DistanceFromSymmetricDifference(c, n, spec);
+  }
+
+  // Balanced block-tiled schedule over the upper triangle: every tile is
+  // (at most) kTile x kTile entries of comparable cost, so dynamic block
+  // claiming never strands a worker on one long row. Each (i, j) entry
+  // and its mirror are written by exactly one tile, so any schedule
+  // produces the same matrix.
+  const std::size_t num_tiles = (count + kTile - 1) / kTile;
+  std::vector<std::pair<std::size_t, std::size_t>> tiles;
+  tiles.reserve(num_tiles * (num_tiles + 1) / 2);
+  for (std::size_t bi = 0; bi < num_tiles; ++bi) {
+    for (std::size_t bj = bi; bj < num_tiles; ++bj) {
+      tiles.emplace_back(bi, bj);
+    }
+  }
+  ParallelFor(pool, 0, tiles.size(), [&](std::size_t t) {
+    const std::size_t i_lo = tiles[t].first * kTile;
+    const std::size_t i_hi = std::min(count, i_lo + kTile);
+    const std::size_t j_lo = tiles[t].second * kTile;
+    const std::size_t j_hi = std::min(count, j_lo + kTile);
+    std::int32_t acc[kTile];
+    for (std::size_t i = i_lo; i < i_hi; ++i) {
+      // Row i's nonzero words drive the whole tile row (~|q| visited
+      // words per pair regardless of universe width), and each visited
+      // word sweeps the j range through the transposed columns —
+      // sequential loads, one precomputed popcount per word:
+      //   diff(i, j) = bits(j) + Σ_w [pc(row_i[w]^col_w[j]) - pc(col_w[j])]
+      const std::uint64_t* ri = packed.Row(i);
+      const std::uint32_t* nzw = packed.WordIndices(i);
+      const std::size_t n_nzw = packed.NumWordIndices(i);
+      const std::size_t j_beg = std::max(i + 1, j_lo);
+      if (j_beg >= j_hi) continue;
+      for (std::size_t j = j_beg; j < j_hi; ++j) {
+        acc[j - j_beg] = static_cast<std::int32_t>(packed.SetBits(j));
+      }
+      for (std::size_t t2 = 0; t2 < n_nzw; ++t2) {
+        const std::uint32_t w = nzw[t2];
+        const std::uint64_t riw = ri[w];
+        const std::uint64_t* col = packed.Column(w) + j_beg;
+        const std::uint8_t* pcc = packed.ColumnPopcount(w) + j_beg;
+        for (std::size_t jj = 0; jj < j_hi - j_beg; ++jj) {
+          acc[jj] += __builtin_popcountll(riw ^ col[jj]) -
+                     static_cast<std::int32_t>(pcc[jj]);
+        }
+      }
+      for (std::size_t j = j_beg; j < j_hi; ++j) {
+        const double v = lut[static_cast<std::size_t>(acc[j - j_beg])];
+        d(i, j) = v;
+        d(j, i) = v;
+      }
+    }
+  });
+  return d;
+}
+
+Matrix DistanceMatrixMerge(const std::vector<FeatureVec>& vecs,
+                           std::size_t n, const DistanceSpec& spec,
+                           ThreadPool* pool) {
   const std::size_t count = vecs.size();
   Matrix d(count, count);
   // Row-parallel over the upper triangle; rows write disjoint entries
@@ -72,6 +181,19 @@ Matrix DistanceMatrix(const std::vector<FeatureVec>& vecs, std::size_t n,
     }
   });
   return d;
+}
+
+std::vector<double> DistancePairs(
+    const PackedVecPool& packed,
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+    const DistanceSpec& spec, ThreadPool* pool) {
+  std::vector<double> out(pairs.size());
+  ParallelFor(pool, 0, pairs.size(), [&](std::size_t p) {
+    out[p] = DistanceFromSymmetricDifference(
+        packed.SymmetricDifference(pairs[p].first, pairs[p].second),
+        packed.num_features(), spec);
+  });
+  return out;
 }
 
 }  // namespace logr

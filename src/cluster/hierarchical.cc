@@ -34,6 +34,31 @@ class DisjointSets {
   std::vector<int> parent_;
 };
 
+/// Leaf masses for the weighted average linkage.
+std::vector<double> ResolveMasses(std::size_t n,
+                                  const std::vector<double>& weights) {
+  std::vector<double> mass(n, 1.0);
+  if (!weights.empty()) {
+    LOGR_CHECK(weights.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mass[i] = weights[i] > 0.0 ? weights[i] : 1e-12;
+    }
+  }
+  return mass;
+}
+
+/// Chunk edge for the parallel nearest() scan. Each chunk reduces to a
+/// local (dist, arg) minimum in ascending index order; the chunk minima
+/// are then folded serially in chunk order, so the winner is the exact
+/// smallest-index argmin a serial scan would pick, for any pool size.
+constexpr std::size_t kScanChunk = 128;
+
+/// Below this many iterations the scan / row-update loops run inline
+/// (ParallelForInlinable): their bodies are a handful of ops, so the
+/// dispatch round trip costs more than the loop until N is large.
+/// Results are identical either way.
+constexpr std::size_t kMinParallelIters = 4096;
+
 }  // namespace
 
 std::vector<int> Dendrogram::CutToK(std::size_t k) const {
@@ -76,7 +101,8 @@ std::vector<int> Dendrogram::CutToK(std::size_t k) const {
 }
 
 Dendrogram AgglomerativeAverageLinkage(const Matrix& distances,
-                                       const std::vector<double>& weights) {
+                                       const std::vector<double>& weights,
+                                       ThreadPool* pool) {
   const std::size_t n = distances.rows();
   LOGR_CHECK(distances.cols() == n && n >= 1);
 
@@ -85,18 +111,166 @@ Dendrogram AgglomerativeAverageLinkage(const Matrix& distances,
   if (n == 1) return out;
 
   // Working distance matrix over active nodes; node ids grow as merges
-  // happen, but we reuse slot of the first merged node for the result to
-  // keep the matrix n x n.
+  // happen, but we reuse the slot of the first merged node for the
+  // result to keep the matrix n x n.
   Matrix d = distances;
-  std::vector<double> mass(n, 1.0);
-  if (!weights.empty()) {
-    LOGR_CHECK(weights.size() == n);
-    for (std::size_t i = 0; i < n; ++i) {
-      mass[i] = weights[i] > 0.0 ? weights[i] : 1e-12;
+  std::vector<double> mass = ResolveMasses(n, weights);
+  std::vector<std::uint8_t> active(n, 1);
+  // slot -> current dendrogram node id occupying it
+  std::vector<int> node_of_slot(n);
+  std::iota(node_of_slot.begin(), node_of_slot.end(), 0);
+
+  // Compact ascending list of (mostly) active slots: scans and row
+  // updates iterate it instead of [0, n), so their work tracks the
+  // shrinking active set. Dead entries are swept once they reach half
+  // the list — deterministic, and iteration order stays ascending, so
+  // results never depend on when the sweep runs.
+  std::vector<std::uint32_t> slot_list(n);
+  std::iota(slot_list.begin(), slot_list.end(), 0);
+  std::size_t dead = 0;
+  auto maybe_compact = [&] {
+    if (dead * 2 <= slot_list.size()) return;
+    slot_list.erase(std::remove_if(slot_list.begin(), slot_list.end(),
+                                   [&](std::uint32_t s) { return !active[s]; }),
+                    slot_list.end());
+    dead = 0;
+  };
+
+  // Cached nearest neighbor per slot. A valid entry equals exactly what
+  // a full serial scan would return — value and smallest-index tie-break
+  // — so the merge sequence matches the reference bit for bit. Entries
+  // go stale only when their cached neighbor itself merges (lazy
+  // invalidation, rescanned on next use); the Lance-Williams pass keeps
+  // all other entries exact in place (see the update rule below).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> cached_arg(n, kNone);
+  std::vector<double> cached_dist(n, 0.0);
+
+  // Chunked scan state, reused across nearest() calls.
+  std::vector<double> chunk_best((n + kScanChunk - 1) / kScanChunk);
+  std::vector<std::size_t> chunk_arg(chunk_best.size());
+
+  auto nearest = [&](std::size_t a) {
+    if (cached_arg[a] != kNone) {
+      return std::make_pair(cached_arg[a], cached_dist[a]);
+    }
+    const std::size_t list_len = slot_list.size();
+    const std::size_t num_chunks = (list_len + kScanChunk - 1) / kScanChunk;
+    const std::uint32_t* list = slot_list.data();
+    const double* row = d.Row(a);
+    ParallelForInlinable(pool, 0, num_chunks, kMinParallelIters / kScanChunk,
+                         [&](std::size_t c) {
+      const std::size_t lo = c * kScanChunk;
+      const std::size_t hi = std::min(list_len, lo + kScanChunk);
+      double best = std::numeric_limits<double>::max();
+      std::size_t arg = kNone;
+      for (std::size_t p = lo; p < hi; ++p) {
+        const std::size_t j = list[p];
+        if (!active[j] || j == a) continue;
+        // Ascending j keeps the first (smallest-index) minimum.
+        if (row[j] < best) {
+          best = row[j];
+          arg = j;
+        }
+      }
+      chunk_best[c] = best;
+      chunk_arg[c] = arg;
+    });
+    double best = std::numeric_limits<double>::max();
+    std::size_t arg = a;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      // Strict <: ties resolve to the earlier chunk, i.e. the smaller
+      // index, matching the serial scan.
+      if (chunk_arg[c] != kNone && chunk_best[c] < best) {
+        best = chunk_best[c];
+        arg = chunk_arg[c];
+      }
+    }
+    cached_arg[a] = arg;
+    cached_dist[a] = best;
+    return std::make_pair(arg, best);
+  };
+
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t remaining = n;
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+      }
+    }
+    for (;;) {
+      std::size_t a = chain.back();
+      auto [b, dist_ab] = nearest(a);
+      if (chain.size() >= 2 && b == chain[chain.size() - 2]) {
+        // Reciprocal nearest neighbors: merge slots a and b.
+        chain.pop_back();
+        chain.pop_back();
+        int node_a = node_of_slot[a];
+        int node_b = node_of_slot[b];
+        out.merge_a.push_back(node_a);
+        out.merge_b.push_back(node_b);
+        out.height.push_back(dist_ab);
+        // Lance-Williams weighted average-linkage update into slot a,
+        // fused with the exact cache maintenance. Each iteration writes
+        // only its own j-indexed slots, so the schedule never changes a
+        // bit. Cache rule: entries pointing at a or b go stale (their
+        // distance changed / their node vanished); any other valid
+        // entry stays the true minimum because the updated d(j, a) is a
+        // weighted average of two old distances, both >= the cached
+        // minimum — only an exact tie with a smaller index (a <
+        // cached_arg[j]) can re-point it.
+        double ma = mass[a], mb = mass[b];
+        active[b] = 0;
+        ++dead;
+        const std::uint32_t* list = slot_list.data();
+        ParallelForInlinable(pool, 0, slot_list.size(), kMinParallelIters,
+                             [&](std::size_t p) {
+          const std::size_t j2 = list[p];
+          if (!active[j2] || j2 == a) return;
+          double nd = (ma * d(a, j2) + mb * d(b, j2)) / (ma + mb);
+          d(a, j2) = nd;
+          d(j2, a) = nd;
+          if (cached_arg[j2] == kNone) return;
+          if (cached_arg[j2] == a || cached_arg[j2] == b) {
+            cached_arg[j2] = kNone;
+          } else if (nd < cached_dist[j2] ||
+                     (nd == cached_dist[j2] && a < cached_arg[j2])) {
+            cached_arg[j2] = a;
+            cached_dist[j2] = nd;
+          }
+        });
+        mass[a] = ma + mb;
+        cached_arg[a] = kNone;
+        node_of_slot[a] =
+            static_cast<int>(n + out.merge_a.size() - 1);
+        --remaining;
+        maybe_compact();
+        break;
+      }
+      chain.push_back(b);
     }
   }
+  return out;
+}
+
+Dendrogram AgglomerativeAverageLinkageReference(
+    const Matrix& distances, const std::vector<double>& weights) {
+  const std::size_t n = distances.rows();
+  LOGR_CHECK(distances.cols() == n && n >= 1);
+
+  Dendrogram out;
+  out.num_leaves = n;
+  if (n == 1) return out;
+
+  Matrix d = distances;
+  std::vector<double> mass = ResolveMasses(n, weights);
   std::vector<bool> active(n, true);
-  // slot -> current dendrogram node id occupying it
   std::vector<int> node_of_slot(n);
   std::iota(node_of_slot.begin(), node_of_slot.end(), 0);
 
@@ -131,7 +305,6 @@ Dendrogram AgglomerativeAverageLinkage(const Matrix& distances,
       std::size_t a = chain.back();
       auto [b, dist_ab] = nearest(a);
       if (chain.size() >= 2 && b == chain[chain.size() - 2]) {
-        // Reciprocal nearest neighbors: merge slots a and b.
         chain.pop_back();
         chain.pop_back();
         int node_a = node_of_slot[a];

@@ -31,8 +31,23 @@ struct Dendrogram {
 
 /// Average-linkage agglomeration from a pairwise distance matrix.
 /// `weights` (optional) give leaf masses for the weighted average.
+///
+/// The fast path of the NN-chain algorithm: a per-slot cached-nearest
+/// array (lazily invalidated when a slot's cached neighbor merges) makes
+/// most nearest() calls O(1), and the remaining full scans plus the
+/// Lance-Williams row updates run across `pool` (nullptr = serial).
+/// Bit-identical to AgglomerativeAverageLinkageReference for every pool
+/// size: the cache is exact (deterministic index tie-breaks preserved)
+/// and all parallel stages write index-addressed slots with serial,
+/// index-ordered reductions.
 Dendrogram AgglomerativeAverageLinkage(const Matrix& distances,
-                                       const std::vector<double>& weights);
+                                       const std::vector<double>& weights,
+                                       ThreadPool* pool = nullptr);
+
+/// The original serial NN-chain (full nearest scans, no cache). Kept as
+/// the bit-identity reference for tests and benches.
+Dendrogram AgglomerativeAverageLinkageReference(
+    const Matrix& distances, const std::vector<double>& weights);
 
 }  // namespace logr
 

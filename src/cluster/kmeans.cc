@@ -74,12 +74,24 @@ ClusteringResult KMeansSparse(const std::vector<FeatureVec>& vecs,
   std::vector<int> new_assign(count);
   std::vector<double> best_dist(count);
 
+  // Pack once per call; every restart's ++ seeding then reads squared
+  // point-to-point distances (= exact symmetric-difference counts) from
+  // the XOR+popcount kernel. Point pairs never sweep columns, so the
+  // transposed planes are skipped. Oversized universes keep the merge
+  // kernel.
+  const bool packed_ok = PackedPoolFits(count, n, /*with_columns=*/false);
+  const PackedVecPool packed =
+      packed_ok ? PackedVecPool(vecs, n, /*build_columns=*/false)
+                : PackedVecPool();
+  auto seed_sq_dist = [&](std::size_t i, std::size_t j) {
+    return static_cast<double>(
+        packed_ok ? packed.SymmetricDifference(i, j)
+                  : SymmetricDifference(vecs[i], vecs[j]));
+  };
+
   for (int init = 0; init < std::max(1, opts.n_init); ++init) {
     // --- seed ---
-    auto seed_centers = PlusPlusSeed(
-        count, k, weights, &rng, [&](std::size_t i, std::size_t j) {
-          return static_cast<double>(SymmetricDifference(vecs[i], vecs[j]));
-        });
+    auto seed_centers = PlusPlusSeed(count, k, weights, &rng, seed_sq_dist);
     Matrix centroids(k, n);
     for (std::size_t c = 0; c < k; ++c) {
       for (FeatureId f : vecs[seed_centers[c]].ids) centroids(c, f) = 1.0;

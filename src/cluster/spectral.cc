@@ -8,6 +8,56 @@
 
 namespace logr {
 
+double MedianNonzeroDistance(const Matrix& dist, ThreadPool* pool) {
+  const std::size_t count = dist.rows();
+  // Row-parallel gather of the nonzero upper-triangle entries: count per
+  // row, prefix-sum the offsets, then fill each row's slice. The filled
+  // array is identical for any schedule, so nth_element sees the same
+  // multiset (and the same memory layout) every time.
+  std::vector<std::size_t> row_count(count, 0);
+  ParallelFor(pool, 0, count, [&](std::size_t i) {
+    std::size_t c = 0;
+    for (std::size_t j = i + 1; j < count; ++j) {
+      if (dist(i, j) > 0.0) ++c;
+    }
+    row_count[i] = c;
+  });
+  std::vector<std::size_t> offset(count + 1, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    offset[i + 1] = offset[i] + row_count[i];
+  }
+  std::vector<double> nonzero(offset[count]);
+  ParallelFor(pool, 0, count, [&](std::size_t i) {
+    std::size_t at = offset[i];
+    for (std::size_t j = i + 1; j < count; ++j) {
+      if (dist(i, j) > 0.0) nonzero[at++] = dist(i, j);
+    }
+  });
+  if (nonzero.empty()) return 1.0;
+  std::nth_element(nonzero.begin(), nonzero.begin() + nonzero.size() / 2,
+                   nonzero.end());
+  double sigma = nonzero[nonzero.size() / 2];
+  return sigma > 0.0 ? sigma : 1.0;
+}
+
+Matrix GaussianAffinity(const Matrix& dist, double sigma, Vector* degree,
+                        ThreadPool* pool) {
+  const std::size_t count = dist.rows();
+  Matrix w(count, count);
+  degree->assign(count, 0.0);
+  const double inv = 1.0 / (2.0 * sigma * sigma);
+  ParallelFor(pool, 0, count, [&](std::size_t i) {
+    double deg = 0.0;
+    for (std::size_t j = 0; j < count; ++j) {
+      double a = (i == j) ? 1.0 : std::exp(-dist(i, j) * dist(i, j) * inv);
+      w(i, j) = a;
+      deg += a;
+    }
+    (*degree)[i] = deg;
+  });
+  return w;
+}
+
 ClusteringResult SpectralCluster(const std::vector<FeatureVec>& vecs,
                                  const std::vector<double>& weights,
                                  std::size_t n,
@@ -24,38 +74,14 @@ ClusteringResult SpectralCluster(const std::vector<FeatureVec>& vecs,
 
   ThreadPool* pool = opts.pool ? opts.pool : ThreadPool::Shared();
 
-  // Pairwise distances and median bandwidth.
+  // Pairwise distances (packed kernel) and median bandwidth.
   Matrix dist = DistanceMatrix(vecs, n, opts.distance, pool);
   double sigma = opts.sigma;
-  if (sigma <= 0.0) {
-    std::vector<double> nonzero;
-    nonzero.reserve(count * (count - 1) / 2);
-    for (std::size_t i = 0; i < count; ++i) {
-      for (std::size_t j = i + 1; j < count; ++j) {
-        if (dist(i, j) > 0.0) nonzero.push_back(dist(i, j));
-      }
-    }
-    if (nonzero.empty()) {
-      sigma = 1.0;
-    } else {
-      std::nth_element(nonzero.begin(), nonzero.begin() + nonzero.size() / 2,
-                       nonzero.end());
-      sigma = nonzero[nonzero.size() / 2];
-      if (sigma <= 0.0) sigma = 1.0;
-    }
-  }
+  if (sigma <= 0.0) sigma = MedianNonzeroDistance(dist, pool);
 
   // Gaussian affinity and degree.
-  Matrix w(count, count);
-  Vector degree(count, 0.0);
-  const double inv = 1.0 / (2.0 * sigma * sigma);
-  for (std::size_t i = 0; i < count; ++i) {
-    for (std::size_t j = 0; j < count; ++j) {
-      double a = (i == j) ? 1.0 : std::exp(-dist(i, j) * dist(i, j) * inv);
-      w(i, j) = a;
-      degree[i] += a;
-    }
-  }
+  Vector degree;
+  Matrix w = GaussianAffinity(dist, sigma, &degree, pool);
   // Normalized affinity M = D^{-1/2} W D^{-1/2}; its top-k eigenvectors
   // equal the bottom-k of the symmetric normalized Laplacian.
   Vector dinv_sqrt(count);

@@ -30,6 +30,19 @@ ClusteringResult SpectralCluster(const std::vector<FeatureVec>& vecs,
                                  const std::vector<double>& weights,
                                  std::size_t n, const SpectralOptions& opts);
 
+/// Median nonzero off-diagonal distance — the default Gaussian bandwidth.
+/// Returns 1.0 when every pairwise distance is zero. The gather runs
+/// row-parallel into precomputed offsets, so the collected multiset (and
+/// therefore the median) is identical for any pool size.
+double MedianNonzeroDistance(const Matrix& dist, ThreadPool* pool);
+
+/// Gaussian affinity W(i, j) = exp(-d(i,j)^2 / (2 sigma^2)) with unit
+/// diagonal, plus the row-sum degree vector. Row-parallel: each row and
+/// its degree entry are written by one iteration, accumulated in
+/// ascending j order, so results are bit-identical for any pool size.
+Matrix GaussianAffinity(const Matrix& dist, double sigma, Vector* degree,
+                        ThreadPool* pool);
+
 }  // namespace logr
 
 #endif  // LOGR_CLUSTER_SPECTRAL_H_

@@ -35,6 +35,10 @@ constexpr std::size_t kDefaultPatternBudget = 8;
 /// trip from this encoder.
 constexpr std::size_t kMaxEncoderPatterns = 12;
 
+/// Apriori candidate cap the refined miner passes as max_results: no
+/// component can retain more patterns than the miner ever surfaces.
+constexpr std::size_t kRefineCandidateCap = 256;
+
 /// Member index lists per component of a [0, k) assignment.
 std::vector<std::vector<std::size_t>> MembersByComponent(
     const std::vector<int>& assignment, std::size_t k) {
@@ -60,7 +64,7 @@ std::vector<FeatureVec> SelectRefinementPatterns(const QueryLog& sublog,
   AprioriOptions mine;
   mine.min_size = 2;  // singletons are already naive marginals
   mine.max_size = 4;
-  mine.max_results = 256;
+  mine.max_results = kRefineCandidateCap;
   std::vector<FeatureVec> candidates;
   for (FrequentItemset& fi : MineFrequentItemsets(sublog.DistinctVectors(),
                                                   row_weights, mine)) {
@@ -443,6 +447,17 @@ std::vector<std::string> EncoderRegistry::Names() const {
   names.reserve(impl_->backends.size());
   for (const auto& entry : impl_->backends) names.push_back(entry.first);
   return names;
+}
+
+std::size_t MaxRefinedPatternsPerComponent(std::size_t n_features) {
+  // The miner only emits multi-feature (size >= 2) subsets, of which an
+  // n-feature universe has 2^n - n - 1 distinct ones; past n = 8 the
+  // candidate cap is the tighter bound, so the shift never overflows.
+  if (n_features >= 9) return kRefineCandidateCap;
+  const std::size_t subsets = std::size_t{1} << n_features;
+  const std::size_t multi =
+      subsets > n_features + 1 ? subsets - n_features - 1 : 0;
+  return std::min(kRefineCandidateCap, multi);
 }
 
 std::string DefaultEncoderName() {

@@ -251,6 +251,14 @@ std::string DefaultEncoderName();
 std::shared_ptr<const RefinedMixtureModel> RefineMixture(
     const QueryLog& log, NaiveMixtureEncoding mixture, std::size_t budget);
 
+/// Most patterns the refined encoder can retain for one component of an
+/// `n_features`-wide summary: the miner's candidate cap (256), further
+/// bounded by the number of distinct multi-feature subsets (2^n - n - 1)
+/// when the universe is small. ReadSummary derives its pattern-count
+/// plausibility bound from this, so any file WriteSummary produces loads
+/// back.
+std::size_t MaxRefinedPatternsPerComponent(std::size_t n_features);
+
 }  // namespace logr
 
 #endif  // LOGR_CORE_ENCODER_H_

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
+#include <numeric>
 
 #include "maxent/entropy.h"
 #include "util/check.h"
@@ -39,37 +40,124 @@ bool CanonicalLess(const MixtureComponent& a, const MixtureComponent& b) {
   return a.weight < b.weight;
 }
 
-/// Closed-form weighted-Error contribution of fusing `group` into one
-/// component of a mixture over `grand_total` queries — the same math
-/// MergeComponents materializes, minus the member bookkeeping, with
-/// deterministic (sorted-feature) accumulation so reconcile decisions
-/// never depend on hash-map iteration order.
-double FusedErrorContribution(const std::vector<const MixtureComponent*>& group,
-                              std::uint64_t grand_total) {
-  std::uint64_t n = 0;
-  for (const MixtureComponent* c : group) n += c->encoding.LogSize();
-  if (n == 0 || grand_total == 0) return 0.0;
-  std::map<FeatureId, double> marginal;
-  double empirical = 0.0;
-  for (const MixtureComponent* c : group) {
-    const double share = SafeRatio(c->encoding.LogSize(), n);
-    if (share <= 0.0) continue;
-    const auto& features = c->encoding.features();
-    const auto& values = c->encoding.marginals();
-    for (std::size_t i = 0; i < features.size(); ++i) {
-      marginal[features[i]] += share * values[i];
-    }
-    empirical += share * c->encoding.EmpiricalEntropy();
-    empirical -= share * std::log(share);
-  }
-  double maxent = 0.0;
-  for (const auto& [f, p] : marginal) {
-    maxent += BinaryEntropy(std::min(p, 1.0));
-  }
+/// Aggregated statistics of a group of components under fusion: enough
+/// to evaluate the group's exact weighted-Error contribution (the same
+/// math MergeComponents materializes) and to fuse two groups in O(s).
+/// Marginals are kept as log-size-weighted sums so the union's marginal
+/// is msum / n, and the empirical entropy uses the grouping property —
+/// which is associative, so pairwise aggregation equals the flat
+/// formula over the original components.
+struct ReconcileGroup {
+  std::uint64_t n = 0;   // total queries in the group
+  double ent = 0.0;      // grouping-entropy estimate of the union
+  double cost = 0.0;     // (n / grand_total) * max(0, maxent - ent)
+  // Sorted (feature, Σ n_i · marginal_i) pairs over the union support.
+  std::vector<std::pair<FeatureId, double>> msum;
+};
+
+double ReconcileGroupCost(std::uint64_t n, double ent, double maxent,
+                          std::uint64_t grand_total) {
   // Overlapping member populations overestimate the union's entropy
   // (the grouping formula is exact only for disjoint parts); clamp so
   // the cost stays a valid non-negative divergence.
-  return SafeRatio(n, grand_total) * std::max(0.0, maxent - empirical);
+  return SafeRatio(n, grand_total) * std::max(0.0, maxent - ent);
+}
+
+ReconcileGroup MakeReconcileGroup(const MixtureComponent& c,
+                                  std::uint64_t grand_total) {
+  ReconcileGroup g;
+  g.n = c.encoding.LogSize();
+  g.ent = c.encoding.EmpiricalEntropy();
+  const auto& features = c.encoding.features();
+  const auto& marginals = c.encoding.marginals();
+  g.msum.reserve(features.size());
+  const double n = static_cast<double>(g.n);
+  double maxent = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    g.msum.emplace_back(features[i], n * marginals[i]);
+    maxent += BinaryEntropy(std::min(marginals[i], 1.0));
+  }
+  g.cost = ReconcileGroupCost(g.n, g.ent, maxent, grand_total);
+  return g;
+}
+
+/// Grouping entropy of the fusion of two groups.
+double FusedEntropy(const ReconcileGroup& a, const ReconcileGroup& b) {
+  const std::uint64_t n = a.n + b.n;
+  double ent = 0.0;
+  const double sa = SafeRatio(a.n, n);
+  const double sb = SafeRatio(b.n, n);
+  if (sa > 0.0) ent += sa * a.ent - sa * std::log(sa);
+  if (sb > 0.0) ent += sb * b.ent - sb * std::log(sb);
+  return ent;
+}
+
+/// Error increase of fusing groups `a` and `b` — the reconcile linkage.
+/// Allocation-free: the union's max-ent entropy streams over the two
+/// sorted supports.
+double FuseDelta(const ReconcileGroup& a, const ReconcileGroup& b,
+                 std::uint64_t grand_total) {
+  const std::uint64_t n = a.n + b.n;
+  if (n == 0) return 0.0;
+  const double inv = 1.0 / static_cast<double>(n);
+  double maxent = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.msum.size() && j < b.msum.size()) {
+    double sum;
+    if (a.msum[i].first < b.msum[j].first) {
+      sum = a.msum[i++].second;
+    } else if (b.msum[j].first < a.msum[i].first) {
+      sum = b.msum[j++].second;
+    } else {
+      sum = a.msum[i++].second + b.msum[j++].second;
+    }
+    maxent += BinaryEntropy(std::min(sum * inv, 1.0));
+  }
+  for (; i < a.msum.size(); ++i) {
+    maxent += BinaryEntropy(std::min(a.msum[i].second * inv, 1.0));
+  }
+  for (; j < b.msum.size(); ++j) {
+    maxent += BinaryEntropy(std::min(b.msum[j].second * inv, 1.0));
+  }
+  const double fused =
+      ReconcileGroupCost(n, FusedEntropy(a, b), maxent, grand_total);
+  return fused - a.cost - b.cost;
+}
+
+/// Fuses `b` into `a` (the materializing counterpart of FuseDelta).
+void FuseInto(ReconcileGroup* a, const ReconcileGroup& b,
+              std::uint64_t grand_total) {
+  std::vector<std::pair<FeatureId, double>> merged;
+  merged.reserve(a->msum.size() + b.msum.size());
+  const std::uint64_t n = a->n + b.n;
+  const double inv = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  double maxent = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a->msum.size() && j < b.msum.size()) {
+    if (a->msum[i].first < b.msum[j].first) {
+      merged.push_back(a->msum[i++]);
+    } else if (b.msum[j].first < a->msum[i].first) {
+      merged.push_back(b.msum[j++]);
+    } else {
+      merged.emplace_back(a->msum[i].first,
+                          a->msum[i].second + b.msum[j].second);
+      ++i;
+      ++j;
+    }
+    maxent += BinaryEntropy(std::min(merged.back().second * inv, 1.0));
+  }
+  for (; i < a->msum.size(); ++i) {
+    merged.push_back(a->msum[i]);
+    maxent += BinaryEntropy(std::min(merged.back().second * inv, 1.0));
+  }
+  for (; j < b.msum.size(); ++j) {
+    merged.push_back(b.msum[j]);
+    maxent += BinaryEntropy(std::min(merged.back().second * inv, 1.0));
+  }
+  a->ent = FusedEntropy(*a, b);
+  a->n = n;
+  a->msum = std::move(merged);
+  a->cost = ReconcileGroupCost(a->n, a->ent, maxent, grand_total);
 }
 
 }  // namespace
@@ -292,127 +380,176 @@ NaiveMixtureEncoding NaiveMixtureEncoding::Merge(
   return FromComponents(std::move(pooled));
 }
 
-NaiveMixtureEncoding NaiveMixtureEncoding::Reconcile(
-    std::size_t k, const Clusterer& clusterer,
-    const ClusterRequest& req) const {
+NaiveMixtureEncoding NaiveMixtureEncoding::Reconcile(std::size_t k,
+                                                     ThreadPool* pool) const {
   LOGR_CHECK(k >= 1);
-  if (components_.size() <= k) return *this;
+  const std::size_t count = components_.size();
+  if (count <= k) return *this;
 
-  // Cluster the component centroids with log sizes as multiplicities.
-  // Clusterer backends consume binary vectors, so each centroid (the
-  // marginal vector) is thermometer-quantized: feature f with marginal p
-  // becomes the first ceil(p·Q) of Q unary levels, making the backend's
-  // distance approximate Q·L1 on the real-valued centroids instead of
-  // collapsing every non-zero marginal to 1.
-  constexpr std::size_t kQuantLevels = 8;
-  FeatureId max_feature = 0;
-  for (const MixtureComponent& c : components_) {
-    if (!c.encoding.features().empty()) {
-      max_feature = std::max(max_feature, c.encoding.features().back());
-    }
-  }
-  std::vector<FeatureVec> centroids;
-  std::vector<double> weights;
-  centroids.reserve(components_.size());
-  weights.reserve(components_.size());
-  for (const MixtureComponent& c : components_) {
-    std::vector<FeatureId> ids;
-    const auto& features = c.encoding.features();
-    const auto& marginals = c.encoding.marginals();
-    for (std::size_t i = 0; i < features.size(); ++i) {
-      const auto levels = static_cast<std::size_t>(
-          std::ceil(marginals[i] * static_cast<double>(kQuantLevels)));
-      for (std::size_t j = 0; j < std::min(levels, kQuantLevels); ++j) {
-        ids.push_back(static_cast<FeatureId>(features[i] * kQuantLevels + j));
-      }
-    }
-    centroids.push_back(FeatureVec(std::move(ids)));
-    weights.push_back(static_cast<double>(c.encoding.LogSize()));
-  }
-  ClusterRequest r = req;
-  r.k = k;
-  r.num_features =
-      (static_cast<std::size_t>(max_feature) + 1) * kQuantLevels;
-  // The centroid set is tiny (S·K points), so extra k-means restarts are
-  // nearly free and buy grouping robustness.
-  r.n_init = std::max(r.n_init, 8);
-  std::vector<int> assignment = clusterer.Cluster(centroids, weights, r);
-  LOGR_CHECK(assignment.size() == components_.size());
-
-  std::vector<std::vector<const MixtureComponent*>> groups(k);
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    const std::size_t label = static_cast<std::size_t>(assignment[i]);
-    LOGR_CHECK(label < k);
-    groups[label].push_back(&components_[i]);
-  }
-
+  // Nearest-component-chain agglomeration with exact fused-error
+  // linkage: the "distance" between two groups is the increase in the
+  // mixture's weighted Error caused by fusing them (FuseDelta — the
+  // closed form the former greedy polish evaluated per move), and the
+  // NN-chain merges reciprocal nearest pairs until k groups remain.
+  // Matrix-free and cache-accelerated: each slot keeps its cached
+  // nearest plus the merge epoch it was validated at; a nearest() query
+  // first replays the merges logged since that epoch (comparing the
+  // fresh linkage to each surviving merged group — the fused-error
+  // linkage can shrink, unlike Lance-Williams distances) and only falls
+  // back to a full chunked scan when the cached partner itself merged.
+  // No component-count ceiling — thousand-shard merges reconcile in one
+  // shot where the former O(P·K)-per-pass polish was capped at 1024.
+  // Deterministic for any pool size: the pooled components arrive in
+  // canonical order, scan reductions are serial in index order, and
+  // ties break on the smaller index.
   const std::uint64_t total = LogSize();
-
-  // Polish the backend's grouping with greedy reassignment against the
-  // exact mixture Error: the fused error of any candidate group has a
-  // closed form, so each component can be tested in every other group
-  // and moved where the total drops the most. Deterministic — fixed
-  // visit order, strict improvement threshold — and cheap (S·K
-  // components against K groups).
-  std::vector<double> cost(k);
-  for (std::size_t g = 0; g < k; ++g) {
-    cost[g] = FusedErrorContribution(groups[g], total);
+  std::vector<ReconcileGroup> groups;
+  groups.reserve(count);
+  std::vector<std::vector<const MixtureComponent*>> members(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    groups.push_back(MakeReconcileGroup(components_[i], total));
+    members[i].push_back(&components_[i]);
   }
-  constexpr int kMaxPasses = 16;
-  constexpr double kMinGain = 1e-12;
-  // The polish is O(P·K·|group|) per pass — fine for in-process pools
-  // (S·K components) but quadratic-ish for huge offline merges (a year
-  // of daily summaries). Past this bound, rely on the backend grouping
-  // alone; the ROADMAP records the incremental-delta version.
-  constexpr std::size_t kPolishLimit = 1024;
-  const int passes =
-      components_.size() <= kPolishLimit ? kMaxPasses : 0;
-  for (int pass = 0; pass < passes; ++pass) {
-    bool moved = false;
-    for (std::size_t i = 0; i < components_.size(); ++i) {
-      const MixtureComponent* comp = &components_[i];
-      std::size_t from = k;
-      for (std::size_t g = 0; g < k && from == k; ++g) {
-        if (std::find(groups[g].begin(), groups[g].end(), comp) !=
-            groups[g].end()) {
-          from = g;
-        }
-      }
-      std::vector<const MixtureComponent*> without = groups[from];
-      without.erase(std::find(without.begin(), without.end(), comp));
-      const double cost_without = FusedErrorContribution(without, total);
 
-      std::size_t best_to = from;
-      double best_gain = kMinGain;
-      double best_cost_to = 0.0;
-      for (std::size_t to = 0; to < k; ++to) {
-        if (to == from) continue;
-        std::vector<const MixtureComponent*> with = groups[to];
-        with.push_back(comp);
-        const double cost_with = FusedErrorContribution(with, total);
-        const double gain =
-            (cost[from] + cost[to]) - (cost_without + cost_with);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_to = to;
-          best_cost_to = cost_with;
+  std::vector<std::uint8_t> active(count, 1);
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> cached_arg(count, kNone);
+  std::vector<double> cached_delta(count, 0.0);
+  std::vector<std::size_t> cached_epoch(count, 0);
+  // Surviving slot of every merge so far, in merge order.
+  std::vector<std::size_t> merge_log;
+  merge_log.reserve(count);
+
+  // Compact ascending list of (mostly) active slots; swept when half
+  // dead, exactly like the hierarchical agglomeration.
+  std::vector<std::uint32_t> slot_list(count);
+  std::iota(slot_list.begin(), slot_list.end(), 0);
+  std::size_t dead = 0;
+  auto maybe_compact = [&] {
+    if (dead * 2 <= slot_list.size()) return;
+    slot_list.erase(std::remove_if(slot_list.begin(), slot_list.end(),
+                                   [&](std::uint32_t s) { return !active[s]; }),
+                    slot_list.end());
+    dead = 0;
+  };
+
+  // Chunked deterministic argmin scan (see AgglomerativeAverageLinkage).
+  constexpr std::size_t kScanChunk = 64;
+  std::vector<double> chunk_best((count + kScanChunk - 1) / kScanChunk);
+  std::vector<std::size_t> chunk_arg(chunk_best.size());
+
+  auto nearest = [&](std::size_t a) {
+    if (cached_arg[a] != kNone && active[cached_arg[a]]) {
+      // Catch up on merges since validation. If the cached partner
+      // itself re-merged, its recorded linkage is stale in an unknown
+      // direction — fall through to a full rescan. Otherwise every
+      // unchanged slot still sits at or above the cached minimum, so
+      // folding in the merged groups' fresh linkages is exact.
+      bool stale = false;
+      std::size_t arg = cached_arg[a];
+      double best = cached_delta[a];
+      for (std::size_t e = cached_epoch[a]; e < merge_log.size(); ++e) {
+        const std::size_t m = merge_log[e];
+        if (m == cached_arg[a]) {
+          stale = true;
+          break;
+        }
+        if (!active[m] || m == a) continue;
+        const double nd = FuseDelta(groups[a], groups[m], total);
+        if (nd < best || (nd == best && m < arg)) {
+          best = nd;
+          arg = m;
         }
       }
-      if (best_to != from) {
-        groups[from] = std::move(without);
-        groups[best_to].push_back(comp);
-        cost[from] = cost_without;
-        cost[best_to] = best_cost_to;
-        moved = true;
+      if (!stale) {
+        cached_arg[a] = arg;
+        cached_delta[a] = best;
+        cached_epoch[a] = merge_log.size();
+        return std::make_pair(arg, best);
       }
     }
-    if (!moved) break;
+    const std::size_t list_len = slot_list.size();
+    const std::size_t num_chunks = (list_len + kScanChunk - 1) / kScanChunk;
+    const std::uint32_t* list = slot_list.data();
+    ParallelForInlinable(pool, 0, num_chunks, 8, [&](std::size_t c) {
+      const std::size_t lo = c * kScanChunk;
+      const std::size_t hi = std::min(list_len, lo + kScanChunk);
+      double best = std::numeric_limits<double>::max();
+      std::size_t arg = kNone;
+      for (std::size_t p = lo; p < hi; ++p) {
+        const std::size_t j = list[p];
+        if (!active[j] || j == a) continue;
+        const double d = FuseDelta(groups[a], groups[j], total);
+        // Ascending j keeps the first (smallest-index) minimum.
+        if (d < best) {
+          best = d;
+          arg = j;
+        }
+      }
+      chunk_best[c] = best;
+      chunk_arg[c] = arg;
+    });
+    double best = std::numeric_limits<double>::max();
+    std::size_t arg = a;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      if (chunk_arg[c] != kNone && chunk_best[c] < best) {
+        best = chunk_best[c];
+        arg = chunk_arg[c];
+      }
+    }
+    cached_arg[a] = arg;
+    cached_delta[a] = best;
+    cached_epoch[a] = merge_log.size();
+    return std::make_pair(arg, best);
+  };
+
+  std::vector<std::size_t> chain;
+  chain.reserve(count);
+  std::size_t remaining = count;
+  while (remaining > k) {
+    if (chain.empty()) {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+      }
+    }
+    for (;;) {
+      const std::size_t a = chain.back();
+      const auto [b, delta_ab] = nearest(a);
+      (void)delta_ab;
+      if (chain.size() >= 2 && b == chain[chain.size() - 2]) {
+        chain.pop_back();
+        chain.pop_back();
+        FuseInto(&groups[a], groups[b], total);
+        members[a].insert(members[a].end(), members[b].begin(),
+                          members[b].end());
+        members[b].clear();
+        groups[b] = ReconcileGroup();
+        active[b] = 0;
+        ++dead;
+        cached_arg[a] = kNone;
+        merge_log.push_back(a);
+        maybe_compact();
+        --remaining;
+        // Fused-error linkage is not reducible (a fusion can move the
+        // merged group closer to a chain predecessor than its recorded
+        // successor), so the chain prefix may be stale. Restart the
+        // walk — the caches carry over, so rebuilding costs O(1) per
+        // step, and the restart point is deterministic.
+        chain.clear();
+        break;
+      }
+      chain.push_back(b);
+    }
   }
+
   std::vector<MixtureComponent> fused;
   fused.reserve(k);
-  for (const auto& group : groups) {
-    if (group.empty()) continue;
-    MixtureComponent comp = MergeComponents(group);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (members[i].empty()) continue;
+    MixtureComponent comp = MergeComponents(members[i]);
     comp.weight = SafeRatio(comp.encoding.LogSize(), total);
     fused.push_back(std::move(comp));
   }

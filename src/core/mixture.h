@@ -17,7 +17,6 @@
 #include <utility>
 #include <vector>
 
-#include "cluster/clusterer.h"
 #include "core/naive_encoding.h"
 #include "util/thread_pool.h"
 #include "workload/query_log.h"
@@ -108,14 +107,19 @@ class NaiveMixtureEncoding {
   static NaiveMixtureEncoding Merge(
       const std::vector<const NaiveMixtureEncoding*>& parts);
 
-  /// Reconcile step of a sharded compression: re-clusters the components
-  /// down to at most `k` by running `clusterer` over the component
-  /// centroids' feature supports with component log sizes as
-  /// multiplicities, then fusing each group with MergeComponents. A
-  /// mixture with <= k components is returned unchanged, so reconcile is
-  /// exact (the identity) whenever no pooling is needed.
-  NaiveMixtureEncoding Reconcile(std::size_t k, const Clusterer& clusterer,
-                                 const ClusterRequest& req) const;
+  /// Reconcile step of a sharded compression: groups the pooled
+  /// components down to at most `k` by nearest-centroid-chain
+  /// agglomeration — average-linkage NN-chain over the exact Euclidean
+  /// distances between component centroids (the real-valued marginal
+  /// vectors), with component log sizes as masses — then fuses each
+  /// group with MergeComponents. Deterministic (canonical component
+  /// order plus index tie-breaks) and bit-identical for any pool size;
+  /// scales to thousands of pooled components where the former
+  /// re-cluster + O(P·K)-per-pass greedy polish was capped at 1024. A
+  /// mixture with <= k components is returned unchanged, so reconcile
+  /// is exact (the identity) whenever no pooling is needed.
+  NaiveMixtureEncoding Reconcile(std::size_t k,
+                                 ThreadPool* pool = nullptr) const;
 
   std::size_t NumComponents() const { return components_.size(); }
   const MixtureComponent& Component(std::size_t i) const {

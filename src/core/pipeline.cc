@@ -168,7 +168,10 @@ LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
   }
   if (ctx_.encoder->Mergeable()) {
     // Mergeable encoders wrap the search's own mixture instead of
-    // re-encoding the identical partition from scratch.
+    // re-encoding the identical partition from scratch. The naive-family
+    // wrap can only tighten the mixture's Error (refinement adds
+    // patterns to the same marginals), so the naive search result still
+    // meets the target.
     LogRSummary out;
     out.assignment = std::move(assignment);
     out.model = ctx_.encoder->WrapMixture(*ctx_.log, std::move(best),
@@ -177,7 +180,53 @@ LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
     out.total_seconds = ctx_.timer.ElapsedSeconds();
     return out;
   }
-  return EncodeStage(std::move(assignment), chosen);
+  // Non-mergeable encoders (e.g. "pattern") model each component
+  // differently from the naive mixture the search measured, so the
+  // encoded summary can miss the target the naive Error met. Evaluate
+  // the actual encoder in the search — but each evaluation is a full
+  // (expensive) encode, so probe K geometrically and then bisect:
+  // O(log max_clusters) encodes instead of O(max_clusters) when the
+  // target is distant or unreachable. Only a K whose encoded Error was
+  // measured at or under the target is ever returned as "met"; if none
+  // exists by max_clusters, the last (largest-K) encode is the best
+  // effort, like the naive search's own endgame.
+  auto encode_at = [&](std::size_t k) {
+    Stopwatch cut_timer;
+    std::vector<int> cut = model->Cut(k);
+    cluster_seconds_ += cut_timer.ElapsedSeconds();
+    return EncodeStage(std::move(cut), k);
+  };
+  LogRSummary out = EncodeStage(std::move(assignment), chosen);
+  if (out.Model().Error() <= error_target) return out;
+  std::size_t lo = chosen;  // largest K known to miss the target
+  std::size_t probe = 1;
+  std::size_t hi = 0;
+  bool found = false;
+  while (lo < max_clusters) {
+    const std::size_t k = std::min(max_clusters, lo + probe);
+    LogRSummary cand = encode_at(k);
+    if (cand.Model().Error() <= error_target) {
+      hi = k;
+      out = std::move(cand);
+      found = true;
+      break;
+    }
+    lo = k;
+    probe *= 2;
+    out = std::move(cand);  // best effort if the budget runs out
+  }
+  if (!found) return out;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    LogRSummary cand = encode_at(mid);
+    if (cand.Model().Error() <= error_target) {
+      hi = mid;
+      out = std::move(cand);
+    } else {
+      lo = mid;
+    }
+  }
+  return out;
 }
 
 LogRSummary CompressionPipeline::RunAdaptive(std::size_t num_clusters) {

@@ -251,7 +251,11 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
       if (!patterns[cluster].empty()) {
         return Fail(error, "duplicate patterns block for cluster: " + line);
       }
-      if (count == 0 || count > n_features * n_features + 1) {
+      // Bound derived from the miner: the refined encoder can never
+      // retain more patterns than its candidate cap or than distinct
+      // multi-feature subsets exist — unlike the former n^2 + 1 guess,
+      // this accepts every file WriteSummary itself produces.
+      if (count == 0 || count > MaxRefinedPatternsPerComponent(n_features)) {
         return Fail(error, "implausible pattern count: " + line);
       }
       if (!std::isfinite(comp_error) || comp_error < 0.0) {
@@ -339,12 +343,6 @@ bool MergeSummaries(const std::vector<PersistedSummary>& parts,
                     std::size_t max_components, const LogROptions& opts,
                     PersistedSummary* out, std::string* error) {
   if (parts.empty()) return Fail(error, "nothing to merge");
-  const std::string& name =
-      opts.backend.empty() ? ClusteringMethodName(opts.method) : opts.backend;
-  const Clusterer* clusterer = ClustererRegistry::Instance().Find(name);
-  if (clusterer == nullptr) {
-    return Fail(error, "unknown clustering backend: " + name);
-  }
   // Pooling operates on the naive payload, so every part's encoder must
   // belong to the mergeable (naive) family — reject e.g. "pattern"
   // summaries loudly instead of silently merging something else.
@@ -405,13 +403,7 @@ bool MergeSummaries(const std::vector<PersistedSummary>& parts,
   NaiveMixtureEncoding merged = NaiveMixtureEncoding::Merge(ptrs);
 
   if (max_components > 0 && merged.NumComponents() > max_components) {
-    ClusterRequest req;
-    req.k = max_components;
-    req.num_features = out->vocabulary.size();
-    req.seed = opts.seed;
-    req.n_init = opts.n_init;
-    req.pool = opts.pool;
-    merged = merged.Reconcile(max_components, *clusterer, req);
+    merged = merged.Reconcile(max_components, opts.pool);
   }
   out->encoding = std::move(merged);
   // Patterns are log-dependent and cannot be re-ranked offline, so the

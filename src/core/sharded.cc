@@ -140,22 +140,11 @@ LogRSummary ShardedCompressor::Run() {
   NaiveMixtureEncoding merged = NaiveMixtureEncoding::Merge(part_ptrs);
 
   // Reconcile the pooled components down to the requested K with the
-  // same registry-selected backend the pipelines used.
-  const std::string& name = opts_.backend.empty()
-                                ? ClusteringMethodName(opts_.method)
-                                : opts_.backend;
-  const Clusterer* clusterer = ClustererRegistry::Instance().Find(name);
-  LOGR_CHECK_MSG(clusterer != nullptr, name.c_str());
+  // nearest-centroid-chain agglomeration (deterministic, backend-free).
   const std::size_t k = std::max<std::size_t>(
       1, std::min(opts_.num_clusters, log.NumDistinct()));
-  ClusterRequest req;
-  req.k = k;
-  req.num_features = log.NumFeatures();
-  req.seed = opts_.seed;
-  req.n_init = opts_.n_init;
-  req.pool = pool;
   Stopwatch reconcile_timer;
-  NaiveMixtureEncoding reconciled = merged.Reconcile(k, *clusterer, req);
+  NaiveMixtureEncoding reconciled = merged.Reconcile(k, pool);
   // Read before WrapMixture: encode/refine time is not clustering time.
   const double reconcile_seconds = reconcile_timer.ElapsedSeconds();
 

@@ -7,8 +7,8 @@
 // runs one CompressionPipeline per shard across the thread pool, then
 // merges the per-shard mixtures (NaiveMixtureEncoding::Merge) and
 // reconciles the pooled components back down to the requested K
-// (NaiveMixtureEncoding::Reconcile) with the same registry-selected
-// clustering backend the pipeline uses.
+// (NaiveMixtureEncoding::Reconcile) by nearest-component-chain
+// agglomeration with exact fused-error linkage.
 //
 // Determinism contract: both shard policies assign each distinct vector
 // to exactly one shard from the data alone (never from thread timing),

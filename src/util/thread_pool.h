@@ -212,6 +212,25 @@ inline void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
   pool->ParallelFor(begin, end, fn);
 }
 
+/// ParallelFor for hot loops whose per-iteration body is tiny (a few
+/// loads and arithmetic ops): runs the loop directly — with the lambda
+/// fully inlinable, no std::function indirection — whenever the pool is
+/// null/degenerate or the range is below `min_parallel`, and dispatches
+/// to the pool otherwise. Callers must already satisfy the ParallelFor
+/// determinism contract (disjoint index-addressed writes), so taking
+/// the serial path never changes results.
+template <typename Fn>
+inline void ParallelForInlinable(ThreadPool* pool, std::size_t begin,
+                                 std::size_t end, std::size_t min_parallel,
+                                 Fn&& fn) {
+  if (pool == nullptr || pool->NumThreads() <= 1 ||
+      end - begin < min_parallel) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(begin, end, fn);
+}
+
 }  // namespace logr
 
 #endif  // LOGR_UTIL_THREAD_POOL_H_

@@ -64,6 +64,77 @@ std::string FeatureVec::HashKey() const {
   return key;
 }
 
+PackedVecPool::PackedVecPool(const std::vector<FeatureVec>& vecs,
+                             std::size_t n_features, bool build_columns)
+    : count_(vecs.size()),
+      words_((n_features + 63) / 64),
+      n_features_(n_features),
+      has_columns_(build_columns),
+      data_(count_ * words_, 0),
+      bits_(count_, 0),
+      word_off_(count_ + 1, 0) {
+  // Single pass over the ids: the id count upper-bounds the nonzero
+  // word count, so reserving it keeps the push_backs allocation-free.
+  std::size_t total_ids = 0;
+  for (const FeatureVec& v : vecs) total_ids += v.ids.size();
+  word_idx_.reserve(total_ids);
+  for (std::size_t i = 0; i < count_; ++i) {
+    std::uint64_t* row = data_.data() + i * words_;
+    std::uint64_t last_word = static_cast<std::uint64_t>(-1);
+    for (FeatureId f : vecs[i].ids) {  // ids sorted => words ascending
+      LOGR_DCHECK(f < n_features_);
+      const std::uint64_t w = f >> 6;
+      if (w != last_word) {
+        word_idx_.push_back(static_cast<std::uint32_t>(w));
+        last_word = w;
+      }
+      row[w] |= std::uint64_t{1} << (f & 63);
+    }
+    bits_[i] = static_cast<std::uint32_t>(vecs[i].ids.size());
+    max_bits_ = std::max<std::size_t>(max_bits_, bits_[i]);
+    word_off_[i + 1] = word_idx_.size();
+  }
+  if (!build_columns) return;
+  // Word-major copy + per-(word, row) popcounts for column sweeps.
+  transposed_.resize(words_ * count_);
+  pc8_.resize(words_ * count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::uint64_t* row = Row(i);
+    for (std::size_t w = 0; w < words_; ++w) {
+      transposed_[w * count_ + i] = row[w];
+      pc8_[w * count_ + i] =
+          static_cast<std::uint8_t>(__builtin_popcountll(row[w]));
+    }
+  }
+}
+
+std::size_t PackedVecPool::SymmetricDifference(std::size_t i,
+                                               std::size_t j) const {
+  // Drive from the row with fewer nonzero words; every word outside its
+  // list contributes the other row's popcount there, pre-paid by the
+  // bits() term.
+  if (NumWordIndices(j) < NumWordIndices(i)) std::swap(i, j);
+  const std::uint64_t* a = Row(i);
+  const std::uint64_t* b = Row(j);
+  const std::uint32_t* nzw = WordIndices(i);
+  const std::size_t n_nzw = NumWordIndices(i);
+  std::int64_t acc = 0;
+  for (std::size_t t = 0; t < n_nzw; ++t) {
+    const std::uint64_t x = b[nzw[t]];
+    acc += __builtin_popcountll(a[nzw[t]] ^ x) - __builtin_popcountll(x);
+  }
+  return static_cast<std::size_t>(static_cast<std::int64_t>(bits_[j]) + acc);
+}
+
+std::size_t PackedVecPool::StorageWords(std::size_t count,
+                                        std::size_t n_features,
+                                        bool with_columns) {
+  // Row-major u64 data, plus — with columns — the transposed copy and
+  // the u8 popcount plane.
+  const std::size_t words = count * ((n_features + 63) / 64);
+  return with_columns ? 2 * words + (words + 7) / 8 : words;
+}
+
 std::vector<double> FeatureVec::ToDense(std::size_t n) const {
   std::vector<double> out(n, 0.0);
   for (FeatureId f : ids) {

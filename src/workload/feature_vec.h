@@ -48,6 +48,103 @@ struct FeatureVec {
   std::vector<double> ToDense(std::size_t n) const;
 };
 
+/// A set of FeatureVecs bit-packed once into dense u64 blocks, so pairwise
+/// symmetric-difference counts become XOR + popcount over words instead of
+/// a sorted-vector merge. The count is an exact integer either way, so
+/// every distance metric derived from it is bit-identical to the sparse
+/// merge kernel.
+///
+/// Row i occupies words_per_vec() consecutive u64s; bit f of the row is 1
+/// iff vecs[i] contains feature f. Because query vectors touch ~15 of up
+/// to thousands of features, most words of a row are zero — so each row
+/// also carries its nonzero-word index list and its total popcount, and
+/// the difference kernel only visits one row's nonzero words:
+///
+///   diff(i, j) = bits(j) + Σ_{w ∈ nzw(i)} [pc(d_i[w]^d_j[w]) - pc(d_j[w])]
+///
+/// (words outside nzw(i) contribute pc(d_j[w]) each, which the bits(j)
+/// term pre-pays). Packing costs one pass over the ids; the pool is
+/// immutable afterwards and safe to share across threads.
+class PackedVecPool {
+ public:
+  PackedVecPool() = default;
+
+  /// Packs `vecs` over an `n_features`-wide universe. Every id must be
+  /// < n_features (checked in debug builds, like FeatureVec::ToDense).
+  /// `build_columns` controls the word-major transposed copy and its
+  /// popcount plane, which only the tiled DistanceMatrix kernel reads —
+  /// point-pair callers (k-means seeding) skip them to halve packing
+  /// cost and memory.
+  PackedVecPool(const std::vector<FeatureVec>& vecs, std::size_t n_features,
+                bool build_columns = true);
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t num_features() const { return n_features_; }
+  std::size_t words_per_vec() const { return words_; }
+
+  /// The packed words of row `i`.
+  const std::uint64_t* Row(std::size_t i) const {
+    return data_.data() + i * words_;
+  }
+
+  /// Number of set bits in row `i` (= the vector's size).
+  std::size_t SetBits(std::size_t i) const { return bits_[i]; }
+
+  /// The largest SetBits over all rows; diff counts never exceed twice
+  /// this, which sizes the per-matrix metric lookup tables.
+  std::size_t MaxSetBits() const { return max_bits_; }
+
+  /// Row i's nonzero word indices (sorted ascending).
+  const std::uint32_t* WordIndices(std::size_t i) const {
+    return word_idx_.data() + word_off_[i];
+  }
+  std::size_t NumWordIndices(std::size_t i) const {
+    return word_off_[i + 1] - word_off_[i];
+  }
+
+  /// True when the transposed column planes were built.
+  bool has_columns() const { return has_columns_; }
+
+  /// Word `w` of every row, contiguous by row index (the transposed
+  /// layout): Column(w)[i] == Row(i)[w]. Lets pairwise kernels sweep a
+  /// fixed word across many rows with sequential loads. Only valid when
+  /// has_columns().
+  const std::uint64_t* Column(std::size_t w) const {
+    return transposed_.data() + w * count_;
+  }
+
+  /// Per-row popcounts of word `w`: ColumnPopcount(w)[i] ==
+  /// popcount(Row(i)[w]). Precomputed so column sweeps pay one popcount
+  /// per visited word instead of two.
+  const std::uint8_t* ColumnPopcount(std::size_t w) const {
+    return pc8_.data() + w * count_;
+  }
+
+  /// Number of coordinates on which rows `i` and `j` differ — the same
+  /// integer SymmetricDifference(vecs[i], vecs[j]) returns.
+  std::size_t SymmetricDifference(std::size_t i, std::size_t j) const;
+
+  /// Words of storage packing `count` vectors over `n_features` would
+  /// take — callers bound memory before building a pool. Column-free
+  /// pools (build_columns = false) cost roughly half.
+  static std::size_t StorageWords(std::size_t count, std::size_t n_features,
+                                  bool with_columns = true);
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t words_ = 0;
+  std::size_t n_features_ = 0;
+  std::size_t max_bits_ = 0;
+  bool has_columns_ = false;
+  std::vector<std::uint64_t> data_;
+  std::vector<std::uint64_t> transposed_;  // word-major copy of data_
+  std::vector<std::uint8_t> pc8_;          // popcount per (word, row)
+  std::vector<std::uint32_t> bits_;
+  std::vector<std::size_t> word_off_;   // CSR offsets, count_ + 1 entries
+  std::vector<std::uint32_t> word_idx_; // sorted nonzero words per row
+};
+
 }  // namespace logr
 
 #endif  // LOGR_WORKLOAD_FEATURE_VEC_H_

@@ -57,6 +57,63 @@ TEST(SerializationTest, RoundTripPreservesEstimates) {
   }
 }
 
+TEST(SerializationTest, RefinedSummaryWithLargeBudgetRoundTrips) {
+  // Regression for the ROADMAP known issue: the reader's former
+  // pattern-count bound (n_features^2 + 1) rejected refined summaries
+  // WriteSummary itself produced when a small-feature log was
+  // compressed with a large refine_patterns budget. The bound is now
+  // derived from the miner's retainable-pattern limit.
+  Pcg32 rng(19);
+  QueryLog log;
+  // 6 features: C(6,2)+C(6,3)+C(6,4) = 50 distinct minable patterns,
+  // well past the old bound of 37.
+  for (int i = 0; i < 60; ++i) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 6; ++f) {
+      if (rng.NextBernoulli(0.5)) ids.push_back(f);
+    }
+    if (ids.empty()) ids.push_back(0);
+    log.Add(FeatureVec(std::move(ids)), 1 + rng.NextBounded(4));
+  }
+  for (FeatureId f = 0; f < 6; ++f) {
+    log.mutable_vocabulary()->Intern(
+        {FeatureClause::kWhere, "col" + std::to_string(f) + " = ?"});
+  }
+  LogROptions opts;
+  opts.num_clusters = 1;
+  opts.encoder = "refined";
+  opts.refine_patterns = 64;  // far beyond what 6 features can yield
+  LogRSummary summary = Compress(log, opts);
+
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary loaded;
+  EXPECT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
+}
+
+TEST(SerializationTest, RejectsPatternCountPastMinerLimit) {
+  // Counts no miner output can reach are still rejected.
+  std::string text =
+      "logr-summary v2\n"
+      "encoder refined\n"
+      "features 2\n"
+      "f 0 a\nf 0 b\n"
+      "clusters 1\n"
+      "cluster 1.0 4 0.5 1\n"
+      "m 0 0.5\n"
+      "patterns 0 2 0.1\n"  // 2 features allow exactly 1 multi-pattern
+      "p 2 0 1\np 2 0 1\n";
+  std::istringstream in(text);
+  PersistedSummary loaded;
+  std::string error;
+  EXPECT_FALSE(ReadSummary(&in, &loaded, &error));
+  EXPECT_NE(error.find("implausible pattern count"), std::string::npos)
+      << error;
+}
+
 TEST(SerializationTest, FeatureTextWithSpacesSurvives) {
   QueryLog log = MakeLog();
   LogRSummary summary = Compress(log, LogROptions());

@@ -4,6 +4,7 @@
 // bit-determinism across thread counts and shard orders, and the
 // offline summary-merge path.
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -229,11 +230,7 @@ TEST(ShardedTest, ReconcileFusesDisjointPartsExactly) {
   NaiveMixtureEncoding pooled = NaiveMixtureEncoding::Merge({&enc_a, &enc_b});
   ASSERT_EQ(pooled.NumComponents(), 2u);
 
-  const Clusterer* kmeans = ClustererRegistry::Instance().Find("kmeans");
-  ASSERT_NE(kmeans, nullptr);
-  ClusterRequest req;
-  req.num_features = 13;
-  NaiveMixtureEncoding fused = pooled.Reconcile(1, *kmeans, req);
+  NaiveMixtureEncoding fused = pooled.Reconcile(1);
   ASSERT_EQ(fused.NumComponents(), 1u);
 
   NaiveMixtureEncoding batch =
@@ -369,14 +366,92 @@ TEST(ShardedTest, MergingOverlappingSummariesKeepsErrorNonNegative) {
               1e-12);
 }
 
+TEST(ShardedTest, ReconcileScalesPastFourThousandComponents) {
+  // The former greedy polish was bounded at 1024 pooled components; the
+  // nearest-component-chain agglomeration must reconcile a
+  // thousand-shard-scale pool in one shot, deterministically for any
+  // pool size, conserving the log size and keeping Error sane.
+  constexpr std::size_t kComponents = 4200;
+  constexpr std::size_t kFeatures = 64;
+  std::vector<MixtureComponent> comps;
+  comps.reserve(kComponents);
+  std::uint64_t grand_total = 0;
+  for (std::size_t c = 0; c < kComponents; ++c) {
+    ComponentAccumulator acc;
+    const FeatureId base = static_cast<FeatureId>((c * 11) % kFeatures);
+    acc.Add(FeatureVec({base, static_cast<FeatureId>(
+                                  (base + 1 + c % 3) % kFeatures)}),
+            1 + (c % 4));
+    acc.Add(FeatureVec({static_cast<FeatureId>((base + 2) % kFeatures)}), 1);
+    grand_total += acc.total();
+    comps.push_back(acc.FinalizeComponent(1));
+  }
+  for (MixtureComponent& comp : comps) {
+    comp.weight = static_cast<double>(comp.encoding.LogSize()) /
+                  static_cast<double>(grand_total);
+  }
+  NaiveMixtureEncoding pooled =
+      NaiveMixtureEncoding::FromComponents(std::move(comps));
+  ASSERT_EQ(pooled.LogSize(), grand_total);
+
+  ThreadPool four(4);
+  NaiveMixtureEncoding reconciled = pooled.Reconcile(32, &four);
+  EXPECT_LE(reconciled.NumComponents(), 32u);
+  EXPECT_GE(reconciled.NumComponents(), 1u);
+  EXPECT_EQ(reconciled.LogSize(), grand_total);
+  EXPECT_GE(reconciled.Error(), 0.0);
+  EXPECT_TRUE(std::isfinite(reconciled.Error()));
+  double weight_sum = 0.0;
+  for (std::size_t c = 0; c < reconciled.NumComponents(); ++c) {
+    weight_sum += reconciled.Component(c).weight;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+TEST(ShardedTest, ReconcileBitIdenticalAcrossPoolSizes) {
+  // Cross-pool determinism of the chain reconcile, at a scale where
+  // running it repeatedly stays cheap (LOGR_THREADS ∈ {1, 4} contract;
+  // the 4096+ scale case above runs once).
+  constexpr std::size_t kComponents = 600;
+  constexpr std::size_t kFeatures = 48;
+  std::vector<MixtureComponent> comps;
+  std::uint64_t grand_total = 0;
+  for (std::size_t c = 0; c < kComponents; ++c) {
+    ComponentAccumulator acc;
+    const FeatureId base = static_cast<FeatureId>((c * 13) % kFeatures);
+    acc.Add(FeatureVec({base, static_cast<FeatureId>(
+                                  (base + 1 + c % 4) % kFeatures)}),
+            1 + (c % 6));
+    acc.Add(FeatureVec({static_cast<FeatureId>((base + 2) % kFeatures)}), 2);
+    grand_total += acc.total();
+    comps.push_back(acc.FinalizeComponent(1));
+  }
+  for (MixtureComponent& comp : comps) {
+    comp.weight = static_cast<double>(comp.encoding.LogSize()) /
+                  static_cast<double>(grand_total);
+  }
+  NaiveMixtureEncoding pooled =
+      NaiveMixtureEncoding::FromComponents(std::move(comps));
+
+  ThreadPool one(1);
+  const NaiveMixtureEncoding baseline = pooled.Reconcile(16, &one);
+  const std::vector<ComponentKey> keys = SortedKeys(baseline);
+  ThreadPool four(4);
+  EXPECT_EQ(SortedKeys(pooled.Reconcile(16, &four)), keys);
+  EXPECT_EQ(SortedKeys(pooled.Reconcile(16, nullptr)), keys);
+}
+
 TEST(ShardedTest, MergeSummariesRejectsBadInput) {
   LogROptions opts;
   PersistedSummary out;
   std::string error;
   EXPECT_FALSE(MergeSummaries({}, 0, opts, &out, &error));
   EXPECT_FALSE(error.empty());
-  opts.backend = "no-such-backend";
+  // Unknown and non-mergeable encoder tags are rejected loudly.
   std::vector<PersistedSummary> one(1);
+  one[0].encoder = "no-such-encoder";
+  EXPECT_FALSE(MergeSummaries(one, 0, opts, &out, &error));
+  one[0].encoder = "pattern";
   EXPECT_FALSE(MergeSummaries(one, 0, opts, &out, &error));
 }
 
