@@ -229,10 +229,13 @@ int RunCompress(int argc, char** argv) {
     return 2;
   }
 
+  // One of `log` / `binary` backs `view`; both outlive the compression.
   QueryLog log;
+  MmapQueryLog binary;
+  LogView view;
   if (!in_path.empty() && IsBinaryLogFile(in_path)) {
-    // Binary fast path: mmap the columns, skip the SQL parse stage.
-    MmapQueryLog binary;
+    // Binary fast path: mmap the columns, skip the SQL parse stage, and
+    // compress straight off the mapping — no Materialize() copy.
     std::string bin_error;
     if (!MmapQueryLog::Open(in_path, &binary, &bin_error)) {
       std::fprintf(stderr, "%s\n", bin_error.c_str());
@@ -249,7 +252,7 @@ int RunCompress(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.num_queries),
                 static_cast<unsigned long long>(stats.num_non_select),
                 static_cast<unsigned long long>(stats.num_parse_errors));
-    log = binary.Materialize();
+    view = LogView(binary);
   } else {
     std::ifstream file;
     std::istream* in = &std::cin;
@@ -265,8 +268,9 @@ int RunCompress(int argc, char** argv) {
     std::uint64_t lines = ReadTextLog(*in, &loader);
     PrintFunnel(lines, loader.Summary("cli"));
     log = loader.TakeLog();
+    view = LogView(log);
   }
-  if (log.TotalQueries() == 0) {
+  if (view.TotalQueries() == 0) {
     std::fprintf(stderr, "no usable queries\n");
     return 1;
   }
@@ -276,7 +280,7 @@ int RunCompress(int argc, char** argv) {
       std::fprintf(stderr, "--shards does not combine with adaptive yet\n");
       return 2;
     }
-    summary = CompressAdaptive(log, clusters, opts);
+    summary = CompressAdaptive(view, clusters, opts);
   } else {
     if (!ParseClusteringMethod(method, &opts.method)) {
       // Not a built-in method name; accept any registered backend.
@@ -291,13 +295,13 @@ int RunCompress(int argc, char** argv) {
       }
       opts.backend = method;
     }
-    summary = Compress(log, opts);
+    summary = Compress(view, opts);
   }
   const WorkloadModel& model = summary.Model();
   std::printf("compressed [%s]: %zu clusters, error %.4f nats, verbosity "
               "%zu (from %zu distinct templates, %zu features)\n",
               model.EncoderName(), model.NumComponents(), model.Error(),
-              model.TotalVerbosity(), log.NumDistinct(), log.NumFeatures());
+              model.TotalVerbosity(), view.NumDistinct(), view.NumFeatures());
   if (model.Error() != model.BaseError()) {
     std::size_t extra = 0;
     for (std::size_t c = 0; c < model.NumComponents(); ++c) {
@@ -315,7 +319,7 @@ int RunCompress(int argc, char** argv) {
     return 0;
   }
   std::string error;
-  if (!WriteSummaryFile(out_path, log.vocabulary(), model, &error)) {
+  if (!WriteSummaryFile(out_path, view.vocabulary(), model, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }

@@ -46,6 +46,7 @@ class KMeansClusterer : public Clusterer {
     km.seed = req.seed;
     km.n_init = req.n_init;
     km.pool = req.pool;
+    km.packed = req.packed;
     return KMeansSparse(vecs, weights, req.num_features, km).assignment;
   }
 };
@@ -66,6 +67,7 @@ class SpectralClusterer : public Clusterer {
     so.n_init = req.n_init;
     so.distance = spec_;
     so.pool = req.pool;
+    so.packed = req.packed;
     return SpectralCluster(vecs, weights, req.num_features, so).assignment;
   }
 
@@ -104,7 +106,9 @@ class HierarchicalClusterer : public Clusterer {
     // Honor the ClusterRequest contract: nullptr means the shared pool,
     // not the serial path (which nullptr selects in DistanceMatrix).
     ThreadPool* pool = req.pool ? req.pool : ThreadPool::Shared();
-    Matrix d = DistanceMatrix(vecs, req.num_features, spec, pool);
+    Matrix d = (req.packed && req.packed->has_columns())
+                   ? DistanceMatrix(*req.packed, spec, pool)
+                   : DistanceMatrix(vecs, req.num_features, spec, pool);
     return std::make_unique<DendrogramModel>(
         AgglomerativeAverageLinkage(d, weights, pool));
   }

@@ -30,6 +30,11 @@ struct ClusterRequest {
   /// Worker pool for data-parallel stages; nullptr selects
   /// ThreadPool::Shared(). Results never depend on the pool size.
   ThreadPool* pool = nullptr;
+  /// Optional pre-built packed pool over exactly the same vectors (row i
+  /// == vecs[i]), shared so backends skip re-packing. May omit columns;
+  /// backends check has_columns() before using the tiled kernel.
+  /// Distances derived from it are bit-identical to packing locally.
+  const PackedVecPool* packed = nullptr;
 };
 
 /// Fitted per-dataset state supporting repeated cuts at different K.

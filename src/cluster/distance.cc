@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cluster/xor_popcount.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -117,6 +118,11 @@ Matrix DistanceMatrix(const PackedVecPool& packed, const DistanceSpec& spec,
   // claiming never strands a worker on one long row. Each (i, j) entry
   // and its mirror are written by exactly one tile, so any schedule
   // produces the same matrix.
+  // Resolved once per matrix: the widest xor+popcount kernel the CPU
+  // supports (or scalar under LOGR_FORCE_SCALAR). Every kernel computes
+  // the same exact integers, so the choice never affects the output.
+  const XorPopcountAccumFn accum = SelectedXorPopcountAccum();
+
   const std::size_t num_tiles = (count + kTile - 1) / kTile;
   std::vector<std::pair<std::size_t, std::size_t>> tiles;
   tiles.reserve(num_tiles * (num_tiles + 1) / 2);
@@ -131,35 +137,45 @@ Matrix DistanceMatrix(const PackedVecPool& packed, const DistanceSpec& spec,
     const std::size_t j_lo = tiles[t].second * kTile;
     const std::size_t j_hi = std::min(count, j_lo + kTile);
     std::int32_t acc[kTile];
+    // The mirror entries d(j, i) of this tile, staged transposed
+    // ([j - j_lo][i - i_lo]) in a cache-resident buffer. Writing them
+    // straight into d would stride by a full matrix row per j — one
+    // cache-line miss per entry, which profiling shows costs more than
+    // the popcount sweep itself. Staged here and flushed row-wise
+    // below, both matrix write streams are sequential.
+    std::vector<double> mirror(kTile * kTile);
     for (std::size_t i = i_lo; i < i_hi; ++i) {
       // Row i's nonzero words drive the whole tile row (~|q| visited
-      // words per pair regardless of universe width), and each visited
-      // word sweeps the j range through the transposed columns —
-      // sequential loads, one precomputed popcount per word:
+      // words per pair regardless of universe width), and one kernel
+      // call sweeps all of them over the j slice of the transposed
+      // columns — sequential loads, one precomputed popcount per word,
+      // accumulators register-resident across the word loop:
       //   diff(i, j) = bits(j) + Σ_w [pc(row_i[w]^col_w[j]) - pc(col_w[j])]
-      const std::uint64_t* ri = packed.Row(i);
-      const std::uint32_t* nzw = packed.WordIndices(i);
-      const std::size_t n_nzw = packed.NumWordIndices(i);
       const std::size_t j_beg = std::max(i + 1, j_lo);
       if (j_beg >= j_hi) continue;
       for (std::size_t j = j_beg; j < j_hi; ++j) {
         acc[j - j_beg] = static_cast<std::int32_t>(packed.SetBits(j));
       }
-      for (std::size_t t2 = 0; t2 < n_nzw; ++t2) {
-        const std::uint32_t w = nzw[t2];
-        const std::uint64_t riw = ri[w];
-        const std::uint64_t* col = packed.Column(w) + j_beg;
-        const std::uint8_t* pcc = packed.ColumnPopcount(w) + j_beg;
-        for (std::size_t jj = 0; jj < j_hi - j_beg; ++jj) {
-          acc[jj] += __builtin_popcountll(riw ^ col[jj]) -
-                     static_cast<std::int32_t>(pcc[jj]);
-        }
-      }
+      accum(packed.Row(i), packed.WordIndices(i), packed.NumWordIndices(i),
+            packed.Column(0) + j_beg, packed.ColumnPopcount(0) + j_beg,
+            count, acc, j_hi - j_beg);
+      double* drow = &d(i, j_beg);
+      double* mcol = mirror.data() + (j_beg - j_lo) * kTile + (i - i_lo);
       for (std::size_t j = j_beg; j < j_hi; ++j) {
         const double v = lut[static_cast<std::size_t>(acc[j - j_beg])];
-        d(i, j) = v;
-        d(j, i) = v;
+        drow[j - j_beg] = v;
+        mcol[(j - j_beg) * kTile] = v;
       }
+    }
+    // Flush the staged mirror block: for each j, its valid i range is
+    // [i_lo, min(j, i_hi)) — the whole tile edge off the diagonal, a
+    // shrinking prefix on it.
+    for (std::size_t j = j_lo; j < j_hi; ++j) {
+      const std::size_t i_end = std::min(j, i_hi);
+      if (i_end <= i_lo) continue;
+      const double* src = mirror.data() + (j - j_lo) * kTile;
+      double* dst = &d(j, i_lo);
+      for (std::size_t o = 0; o < i_end - i_lo; ++o) dst[o] = src[o];
     }
   });
   return d;

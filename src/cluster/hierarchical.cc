@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "cluster/nn_chain.h"
 #include "util/check.h"
 
 namespace logr {
@@ -115,26 +116,13 @@ Dendrogram AgglomerativeAverageLinkage(const Matrix& distances,
   // result to keep the matrix n x n.
   Matrix d = distances;
   std::vector<double> mass = ResolveMasses(n, weights);
-  std::vector<std::uint8_t> active(n, 1);
   // slot -> current dendrogram node id occupying it
   std::vector<int> node_of_slot(n);
   std::iota(node_of_slot.begin(), node_of_slot.end(), 0);
 
-  // Compact ascending list of (mostly) active slots: scans and row
-  // updates iterate it instead of [0, n), so their work tracks the
-  // shrinking active set. Dead entries are swept once they reach half
-  // the list — deterministic, and iteration order stays ascending, so
-  // results never depend on when the sweep runs.
-  std::vector<std::uint32_t> slot_list(n);
-  std::iota(slot_list.begin(), slot_list.end(), 0);
-  std::size_t dead = 0;
-  auto maybe_compact = [&] {
-    if (dead * 2 <= slot_list.size()) return;
-    slot_list.erase(std::remove_if(slot_list.begin(), slot_list.end(),
-                                   [&](std::uint32_t s) { return !active[s]; }),
-                    slot_list.end());
-    dead = 0;
-  };
+  // Chain walk, active-slot list, and deterministic chunked argmin come
+  // from cluster/nn_chain.h (shared with the mixture reconcile).
+  NNChainScan scan(n, kScanChunk, kMinParallelIters / kScanChunk, pool);
 
   // Cached nearest neighbor per slot. A valid entry equals exactly what
   // a full serial scan would return — value and smallest-index tie-break
@@ -142,120 +130,61 @@ Dendrogram AgglomerativeAverageLinkage(const Matrix& distances,
   // go stale only when their cached neighbor itself merges (lazy
   // invalidation, rescanned on next use); the Lance-Williams pass keeps
   // all other entries exact in place (see the update rule below).
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  constexpr std::size_t kNone = NNChainScan::kNone;
   std::vector<std::size_t> cached_arg(n, kNone);
   std::vector<double> cached_dist(n, 0.0);
-
-  // Chunked scan state, reused across nearest() calls.
-  std::vector<double> chunk_best((n + kScanChunk - 1) / kScanChunk);
-  std::vector<std::size_t> chunk_arg(chunk_best.size());
 
   auto nearest = [&](std::size_t a) {
     if (cached_arg[a] != kNone) {
       return std::make_pair(cached_arg[a], cached_dist[a]);
     }
-    const std::size_t list_len = slot_list.size();
-    const std::size_t num_chunks = (list_len + kScanChunk - 1) / kScanChunk;
-    const std::uint32_t* list = slot_list.data();
     const double* row = d.Row(a);
-    ParallelForInlinable(pool, 0, num_chunks, kMinParallelIters / kScanChunk,
-                         [&](std::size_t c) {
-      const std::size_t lo = c * kScanChunk;
-      const std::size_t hi = std::min(list_len, lo + kScanChunk);
-      double best = std::numeric_limits<double>::max();
-      std::size_t arg = kNone;
-      for (std::size_t p = lo; p < hi; ++p) {
-        const std::size_t j = list[p];
-        if (!active[j] || j == a) continue;
-        // Ascending j keeps the first (smallest-index) minimum.
-        if (row[j] < best) {
-          best = row[j];
-          arg = j;
-        }
-      }
-      chunk_best[c] = best;
-      chunk_arg[c] = arg;
-    });
-    double best = std::numeric_limits<double>::max();
-    std::size_t arg = a;
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      // Strict <: ties resolve to the earlier chunk, i.e. the smaller
-      // index, matching the serial scan.
-      if (chunk_arg[c] != kNone && chunk_best[c] < best) {
-        best = chunk_best[c];
-        arg = chunk_arg[c];
-      }
-    }
-    cached_arg[a] = arg;
-    cached_dist[a] = best;
-    return std::make_pair(arg, best);
+    const std::pair<std::size_t, double> found =
+        scan.Argmin(a, [row](std::size_t j) { return row[j]; });
+    cached_arg[a] = found.first;
+    cached_dist[a] = found.second;
+    return found;
   };
 
-  std::vector<std::size_t> chain;
-  chain.reserve(n);
-  std::size_t remaining = n;
+  // Reciprocal pair (a, b) found: record the merge, then the
+  // Lance-Williams weighted average-linkage update into slot a, fused
+  // with the exact cache maintenance. Each iteration writes only its
+  // own j-indexed slots, so the schedule never changes a bit. Cache
+  // rule: entries pointing at a or b go stale (their distance changed /
+  // their node vanished); any other valid entry stays the true minimum
+  // because the updated d(j, a) is a weighted average of two old
+  // distances, both >= the cached minimum — only an exact tie with a
+  // smaller index (a < cached_arg[j]) can re-point it.
+  auto merge = [&](std::size_t a, std::size_t b, double dist_ab) {
+    out.merge_a.push_back(node_of_slot[a]);
+    out.merge_b.push_back(node_of_slot[b]);
+    out.height.push_back(dist_ab);
+    const double ma = mass[a], mb = mass[b];
+    const std::vector<std::uint32_t>& slots = scan.slots();
+    const std::uint32_t* list = slots.data();
+    ParallelForInlinable(pool, 0, slots.size(), kMinParallelIters,
+                         [&](std::size_t p) {
+      const std::size_t j2 = list[p];
+      if (!scan.IsActive(j2) || j2 == a) return;
+      double nd = (ma * d(a, j2) + mb * d(b, j2)) / (ma + mb);
+      d(a, j2) = nd;
+      d(j2, a) = nd;
+      if (cached_arg[j2] == kNone) return;
+      if (cached_arg[j2] == a || cached_arg[j2] == b) {
+        cached_arg[j2] = kNone;
+      } else if (nd < cached_dist[j2] ||
+                 (nd == cached_dist[j2] && a < cached_arg[j2])) {
+        cached_arg[j2] = a;
+        cached_dist[j2] = nd;
+      }
+    });
+    mass[a] = ma + mb;
+    cached_arg[a] = kNone;
+    node_of_slot[a] = static_cast<int>(n + out.merge_a.size() - 1);
+  };
 
-  while (remaining > 1) {
-    if (chain.empty()) {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (active[i]) {
-          chain.push_back(i);
-          break;
-        }
-      }
-    }
-    for (;;) {
-      std::size_t a = chain.back();
-      auto [b, dist_ab] = nearest(a);
-      if (chain.size() >= 2 && b == chain[chain.size() - 2]) {
-        // Reciprocal nearest neighbors: merge slots a and b.
-        chain.pop_back();
-        chain.pop_back();
-        int node_a = node_of_slot[a];
-        int node_b = node_of_slot[b];
-        out.merge_a.push_back(node_a);
-        out.merge_b.push_back(node_b);
-        out.height.push_back(dist_ab);
-        // Lance-Williams weighted average-linkage update into slot a,
-        // fused with the exact cache maintenance. Each iteration writes
-        // only its own j-indexed slots, so the schedule never changes a
-        // bit. Cache rule: entries pointing at a or b go stale (their
-        // distance changed / their node vanished); any other valid
-        // entry stays the true minimum because the updated d(j, a) is a
-        // weighted average of two old distances, both >= the cached
-        // minimum — only an exact tie with a smaller index (a <
-        // cached_arg[j]) can re-point it.
-        double ma = mass[a], mb = mass[b];
-        active[b] = 0;
-        ++dead;
-        const std::uint32_t* list = slot_list.data();
-        ParallelForInlinable(pool, 0, slot_list.size(), kMinParallelIters,
-                             [&](std::size_t p) {
-          const std::size_t j2 = list[p];
-          if (!active[j2] || j2 == a) return;
-          double nd = (ma * d(a, j2) + mb * d(b, j2)) / (ma + mb);
-          d(a, j2) = nd;
-          d(j2, a) = nd;
-          if (cached_arg[j2] == kNone) return;
-          if (cached_arg[j2] == a || cached_arg[j2] == b) {
-            cached_arg[j2] = kNone;
-          } else if (nd < cached_dist[j2] ||
-                     (nd == cached_dist[j2] && a < cached_arg[j2])) {
-            cached_arg[j2] = a;
-            cached_dist[j2] = nd;
-          }
-        });
-        mass[a] = ma + mb;
-        cached_arg[a] = kNone;
-        node_of_slot[a] =
-            static_cast<int>(n + out.merge_a.size() - 1);
-        --remaining;
-        maybe_compact();
-        break;
-      }
-      chain.push_back(b);
-    }
-  }
+  // Average linkage is reducible, so the chain survives merges.
+  NNChainAgglomerate(scan, 1, /*reducible=*/true, nearest, merge);
   return out;
 }
 

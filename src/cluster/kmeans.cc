@@ -74,19 +74,22 @@ ClusteringResult KMeansSparse(const std::vector<FeatureVec>& vecs,
   std::vector<int> new_assign(count);
   std::vector<double> best_dist(count);
 
-  // Pack once per call; every restart's ++ seeding then reads squared
-  // point-to-point distances (= exact symmetric-difference counts) from
-  // the XOR+popcount kernel. Point pairs never sweep columns, so the
-  // transposed planes are skipped. Oversized universes keep the merge
-  // kernel.
-  const bool packed_ok = PackedPoolFits(count, n, /*with_columns=*/false);
-  const PackedVecPool packed =
-      packed_ok ? PackedVecPool(vecs, n, /*build_columns=*/false)
-                : PackedVecPool();
+  // Every restart's ++ seeding reads squared point-to-point distances
+  // (= exact symmetric-difference counts) from the XOR+popcount kernel.
+  // A caller-shared pool (opts.packed) is used as-is; otherwise pack
+  // once per call, skipping the transposed planes point pairs never
+  // sweep. Oversized universes keep the merge kernel.
+  const bool pack_local =
+      opts.packed == nullptr && PackedPoolFits(count, n, /*with_columns=*/false);
+  const PackedVecPool local_packed =
+      pack_local ? PackedVecPool(vecs, n, /*build_columns=*/false)
+                 : PackedVecPool();
+  const PackedVecPool* packed =
+      opts.packed ? opts.packed : (pack_local ? &local_packed : nullptr);
   auto seed_sq_dist = [&](std::size_t i, std::size_t j) {
-    return static_cast<double>(
-        packed_ok ? packed.SymmetricDifference(i, j)
-                  : SymmetricDifference(vecs[i], vecs[j]));
+    return static_cast<double>(packed
+                                   ? packed->SymmetricDifference(i, j)
+                                   : SymmetricDifference(vecs[i], vecs[j]));
   };
 
   for (int init = 0; init < std::max(1, opts.n_init); ++init) {

@@ -28,6 +28,11 @@ struct KMeansOptions {
   /// Results are bit-identical for every pool size (the per-point scan is
   /// parallel, the inertia reduction is serial and in index order).
   ThreadPool* pool = nullptr;
+  /// Optional shared packed pool over exactly the input vectors (row i
+  /// == vecs[i]); ++-seeding reads its symmetric differences instead of
+  /// packing a private pool. Distances are the same exact integers
+  /// either way.
+  const PackedVecPool* packed = nullptr;
 };
 
 struct ClusteringResult {

@@ -74,8 +74,11 @@ ClusteringResult SpectralCluster(const std::vector<FeatureVec>& vecs,
 
   ThreadPool* pool = opts.pool ? opts.pool : ThreadPool::Shared();
 
-  // Pairwise distances (packed kernel) and median bandwidth.
-  Matrix dist = DistanceMatrix(vecs, n, opts.distance, pool);
+  // Pairwise distances (packed kernel) and median bandwidth. A shared
+  // pool skips the re-pack; the distances are identical either way.
+  Matrix dist = (opts.packed && opts.packed->has_columns())
+                    ? DistanceMatrix(*opts.packed, opts.distance, pool)
+                    : DistanceMatrix(vecs, n, opts.distance, pool);
   double sigma = opts.sigma;
   if (sigma <= 0.0) sigma = MedianNonzeroDistance(dist, pool);
 

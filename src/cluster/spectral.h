@@ -23,6 +23,10 @@ struct SpectralOptions {
   /// Pool for the distance and k-means stages; nullptr selects
   /// ThreadPool::Shared(). Results never depend on the pool size.
   ThreadPool* pool = nullptr;
+  /// Optional shared packed pool (with columns) over exactly the input
+  /// vectors; the affinity stage reads its distance matrix instead of
+  /// re-packing. Bit-identical either way.
+  const PackedVecPool* packed = nullptr;
 };
 
 /// Spectral clustering of sparse binary vectors in an n-feature universe.

@@ -1,0 +1,95 @@
+// AVX2 xor+popcount accumulation kernel. This TU is compiled with
+// -mavx2 (see CMakeLists); when the build disables AVX (e.g. the
+// -mno-avx2 degradation matrix leg), the preprocessor guard swaps in
+// the scalar body and Compiled() reports false so dispatch never picks
+// it.
+#include "cluster/xor_popcount.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace logr {
+
+#if defined(__AVX2__)
+
+bool XorPopcountAvx2Compiled() { return true; }
+
+namespace {
+
+/// Popcount of each u64 lane of `x`: vpshufb maps each 4-bit nibble to
+/// its bit count, vpsadbw folds the 8 per-byte counts of each lane into
+/// one integer. Exact for every input.
+inline __m256i Popcount64x4(__m256i x) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(x, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), low_mask);
+  const __m256i cnt8 = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                       _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt8, _mm256_setzero_si256());
+}
+
+}  // namespace
+
+void XorPopcountAccumAvx2(const std::uint64_t* row, const std::uint32_t* nzw,
+                          std::size_t n_nzw, const std::uint64_t* cols,
+                          const std::uint8_t* pcc, std::size_t stride,
+                          std::int32_t* acc, std::size_t len) {
+  const __m256i pack_even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  std::size_t j = 0;
+  // 8 accumulator lanes per step; the ymm accumulator stays in a
+  // register across the entire nonzero-word loop.
+  for (; j + 8 <= len; j += 8) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j));
+    for (std::size_t t = 0; t < n_nzw; ++t) {
+      const std::size_t off = static_cast<std::size_t>(nzw[t]) * stride + j;
+      const __m256i r =
+          _mm256_set1_epi64x(static_cast<long long>(row[nzw[t]]));
+      const __m256i x0 = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + off)),
+          r);
+      const __m256i x1 = _mm256_xor_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(cols + off + 4)),
+          r);
+      // 8 x u64 popcounts (each <= 64, the low dword of each lane);
+      // pack the two quads of even dwords into one 8 x i32 vector.
+      const __m256i p0 = _mm256_permutevar8x32_epi32(Popcount64x4(x0),
+                                                     pack_even);
+      const __m256i p1 = _mm256_permutevar8x32_epi32(Popcount64x4(x1),
+                                                     pack_even);
+      const __m256i cnt = _mm256_permute2x128_si256(p0, p1, 0x20);
+      const __m256i pc = _mm256_cvtepu8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(pcc + off)));
+      a = _mm256_add_epi32(a, _mm256_sub_epi32(cnt, pc));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j), a);
+  }
+  for (; j < len; ++j) {
+    std::int32_t a = acc[j];
+    for (std::size_t t = 0; t < n_nzw; ++t) {
+      const std::size_t off = static_cast<std::size_t>(nzw[t]) * stride + j;
+      a += __builtin_popcountll(row[nzw[t]] ^ cols[off]) -
+           static_cast<std::int32_t>(pcc[off]);
+    }
+    acc[j] = a;
+  }
+}
+
+#else
+
+bool XorPopcountAvx2Compiled() { return false; }
+
+void XorPopcountAccumAvx2(const std::uint64_t* row, const std::uint32_t* nzw,
+                          std::size_t n_nzw, const std::uint64_t* cols,
+                          const std::uint8_t* pcc, std::size_t stride,
+                          std::int32_t* acc, std::size_t len) {
+  XorPopcountAccumScalar(row, nzw, n_nzw, cols, pcc, stride, acc, len);
+}
+
+#endif  // __AVX2__
+
+}  // namespace logr

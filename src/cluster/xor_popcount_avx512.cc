@@ -1,0 +1,85 @@
+// AVX-512 VPOPCNTDQ xor+popcount accumulation kernel. This TU is
+// compiled with -mavx512f -mavx512vpopcntdq (see CMakeLists); without
+// those flags the guard swaps in the scalar body and Compiled()
+// reports false so dispatch never picks it.
+#include "cluster/xor_popcount.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+#include <immintrin.h>
+#endif
+
+namespace logr {
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+bool XorPopcountAvx512Compiled() { return true; }
+
+void XorPopcountAccumAvx512(const std::uint64_t* row,
+                            const std::uint32_t* nzw, std::size_t n_nzw,
+                            const std::uint64_t* cols,
+                            const std::uint8_t* pcc, std::size_t stride,
+                            std::int32_t* acc, std::size_t len) {
+  std::size_t j = 0;
+  // 16 accumulator lanes per step; the zmm accumulator stays in a
+  // register across the entire nonzero-word loop, so per word the only
+  // memory traffic is the two column loads and the popcount bytes.
+  for (; j + 16 <= len; j += 16) {
+    __m512i a = _mm512_loadu_si512(acc + j);
+    for (std::size_t t = 0; t < n_nzw; ++t) {
+      const std::size_t off = static_cast<std::size_t>(nzw[t]) * stride + j;
+      const __m512i r =
+          _mm512_set1_epi64(static_cast<long long>(row[nzw[t]]));
+      const __m512i x0 = _mm512_xor_si512(_mm512_loadu_si512(cols + off), r);
+      const __m512i x1 =
+          _mm512_xor_si512(_mm512_loadu_si512(cols + off + 8), r);
+      // 16 x u64 popcounts, each <= 64 so the narrowing casts are exact.
+      const __m256i c0 = _mm512_cvtepi64_epi32(_mm512_popcnt_epi64(x0));
+      const __m256i c1 = _mm512_cvtepi64_epi32(_mm512_popcnt_epi64(x1));
+      const __m512i cnt =
+          _mm512_inserti64x4(_mm512_castsi256_si512(c0), c1, 1);
+      const __m512i pc = _mm512_cvtepu8_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(pcc + off)));
+      a = _mm512_add_epi32(a, _mm512_sub_epi32(cnt, pc));
+    }
+    _mm512_storeu_si512(acc + j, a);
+  }
+  for (; j + 8 <= len; j += 8) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j));
+    for (std::size_t t = 0; t < n_nzw; ++t) {
+      const std::size_t off = static_cast<std::size_t>(nzw[t]) * stride + j;
+      const __m512i r =
+          _mm512_set1_epi64(static_cast<long long>(row[nzw[t]]));
+      const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(cols + off), r);
+      const __m256i cnt = _mm512_cvtepi64_epi32(_mm512_popcnt_epi64(x));
+      const __m256i pc = _mm256_cvtepu8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(pcc + off)));
+      a = _mm256_add_epi32(a, _mm256_sub_epi32(cnt, pc));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j), a);
+  }
+  for (; j < len; ++j) {
+    std::int32_t a = acc[j];
+    for (std::size_t t = 0; t < n_nzw; ++t) {
+      const std::size_t off = static_cast<std::size_t>(nzw[t]) * stride + j;
+      a += __builtin_popcountll(row[nzw[t]] ^ cols[off]) -
+           static_cast<std::int32_t>(pcc[off]);
+    }
+    acc[j] = a;
+  }
+}
+
+#else
+
+bool XorPopcountAvx512Compiled() { return false; }
+
+void XorPopcountAccumAvx512(const std::uint64_t* row,
+                            const std::uint32_t* nzw, std::size_t n_nzw,
+                            const std::uint64_t* cols,
+                            const std::uint8_t* pcc, std::size_t stride,
+                            std::int32_t* acc, std::size_t len) {
+  XorPopcountAccumScalar(row, nzw, n_nzw, cols, pcc, stride, acc, len);
+}
+
+#endif  // __AVX512F__ && __AVX512VPOPCNTDQ__
+
+}  // namespace logr

@@ -95,7 +95,7 @@ class NaiveEncoder : public Encoder {
   bool Mergeable() const override { return true; }
 
   std::shared_ptr<const WorkloadModel> Encode(
-      const QueryLog& log, const std::vector<int>& assignment,
+      const LogView& log, const std::vector<int>& assignment,
       const EncodeRequest& req) const override {
     return std::make_shared<NaiveMixtureModel>(
         NaiveMixtureEncoding::FromPartition(log, assignment, req.k,
@@ -103,7 +103,7 @@ class NaiveEncoder : public Encoder {
   }
 
   std::shared_ptr<const WorkloadModel> WrapMixture(
-      const QueryLog& /*log*/, NaiveMixtureEncoding mixture,
+      const LogView& /*log*/, NaiveMixtureEncoding mixture,
       const EncodeRequest& /*req*/) const override {
     return std::make_shared<NaiveMixtureModel>(std::move(mixture));
   }
@@ -117,7 +117,7 @@ class RefinedEncoder : public Encoder {
   bool Mergeable() const override { return true; }
 
   std::shared_ptr<const WorkloadModel> Encode(
-      const QueryLog& log, const std::vector<int>& assignment,
+      const LogView& log, const std::vector<int>& assignment,
       const EncodeRequest& req) const override {
     return WrapMixture(log,
                        NaiveMixtureEncoding::FromPartition(log, assignment,
@@ -126,7 +126,7 @@ class RefinedEncoder : public Encoder {
   }
 
   std::shared_ptr<const WorkloadModel> WrapMixture(
-      const QueryLog& log, NaiveMixtureEncoding mixture,
+      const LogView& log, NaiveMixtureEncoding mixture,
       const EncodeRequest& req) const override {
     const std::size_t budget =
         req.refine_patterns > 0 ? req.refine_patterns : kDefaultRefinePatterns;
@@ -225,7 +225,7 @@ class PatternEncoder : public Encoder {
   const char* Name() const override { return "pattern"; }
 
   std::shared_ptr<const WorkloadModel> Encode(
-      const QueryLog& log, const std::vector<int>& assignment,
+      const LogView& log, const std::vector<int>& assignment,
       const EncodeRequest& req) const override {
     // Selection is capped below the lattice-materialization ceiling:
     // PatternEncoding hard-errors above kMaxPatterns, and fit cost is
@@ -243,7 +243,9 @@ class PatternEncoder : public Encoder {
     std::vector<PatternMixtureModel::Component> components;
     components.reserve(req.k);
     for (std::size_t c = 0; c < req.k; ++c) {
-      QueryLog sublog = log.Subset(members[c]);
+      // Per-component mining needs an owning sub-log either way; the
+      // full log itself is never materialized.
+      QueryLog sublog = log.MaterializeSubset(members[c]);
       const double weight =
           total > 0.0 ? static_cast<double>(sublog.TotalQueries()) / total
                       : 0.0;
@@ -366,7 +368,7 @@ std::vector<FeatureVec> RefinedMixtureModel::ComponentPatterns(
 // ----------------------------------------------------------- RefineMixture
 
 std::shared_ptr<const RefinedMixtureModel> RefineMixture(
-    const QueryLog& log, NaiveMixtureEncoding mixture, std::size_t budget) {
+    const LogView& log, NaiveMixtureEncoding mixture, std::size_t budget) {
   std::vector<std::vector<FeatureVec>> retained(mixture.NumComponents());
   std::vector<double> errors(mixture.NumComponents(), 0.0);
   for (std::size_t c = 0; c < mixture.NumComponents(); ++c) {
@@ -376,7 +378,7 @@ std::shared_ptr<const RefinedMixtureModel> RefineMixture(
     if (comp.members.size() < 2 || naive_err <= 1e-12 || budget == 0) {
       continue;
     }
-    QueryLog sublog = log.Subset(comp.members);
+    QueryLog sublog = log.MaterializeSubset(comp.members);
     std::vector<FeatureVec> extra =
         SelectRefinementPatterns(sublog, comp.encoding, budget);
     if (extra.empty()) continue;
@@ -393,7 +395,7 @@ std::shared_ptr<const RefinedMixtureModel> RefineMixture(
 // ------------------------------------------------------------ base class
 
 std::shared_ptr<const WorkloadModel> Encoder::WrapMixture(
-    const QueryLog& /*log*/, NaiveMixtureEncoding /*mixture*/,
+    const LogView& /*log*/, NaiveMixtureEncoding /*mixture*/,
     const EncodeRequest& /*req*/) const {
   LOGR_CHECK_MSG(false, Name());  // non-mergeable encoder cannot wrap
   return nullptr;

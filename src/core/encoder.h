@@ -21,6 +21,7 @@
 
 #include "core/mixture.h"
 #include "util/thread_pool.h"
+#include "workload/log_view.h"
 #include "workload/query_log.h"
 
 namespace logr {
@@ -180,8 +181,9 @@ class RefinedMixtureModel : public NaiveMixtureModel {
   double refined_error_ = 0.0;
 };
 
-/// A log summarizer: encodes a clustering partition of a QueryLog into
-/// a WorkloadModel. Implementations plug in through EncoderRegistry the
+/// A log summarizer: encodes a clustering partition of a log (seen
+/// through a LogView — heap QueryLog or mmap'd .logrl alike) into a
+/// WorkloadModel. Implementations plug in through EncoderRegistry the
 /// same way Clusterer backends plug into ClustererRegistry — the
 /// compression pipeline never names a concrete encoding class.
 class Encoder {
@@ -200,7 +202,7 @@ class Encoder {
   /// Encodes the `req.k`-way partition `assignment` of `log`'s distinct
   /// vectors (values in [0, req.k)).
   virtual std::shared_ptr<const WorkloadModel> Encode(
-      const QueryLog& log, const std::vector<int>& assignment,
+      const LogView& log, const std::vector<int>& assignment,
       const EncodeRequest& req) const = 0;
 
   /// Wraps an already-materialized naive mixture (the merge/reconcile
@@ -208,7 +210,7 @@ class Encoder {
   /// against `log` when applicable. Aborts for non-mergeable encoders —
   /// callers must check Mergeable() and fail loudly first.
   virtual std::shared_ptr<const WorkloadModel> WrapMixture(
-      const QueryLog& log, NaiveMixtureEncoding mixture,
+      const LogView& log, NaiveMixtureEncoding mixture,
       const EncodeRequest& req) const;
 };
 
@@ -249,7 +251,7 @@ std::string DefaultEncoderName();
 /// The shared implementation behind the "refined" encoder's Encode and
 /// WrapMixture; exposed for callers that already hold a naive mixture.
 std::shared_ptr<const RefinedMixtureModel> RefineMixture(
-    const QueryLog& log, NaiveMixtureEncoding mixture, std::size_t budget);
+    const LogView& log, NaiveMixtureEncoding mixture, std::size_t budget);
 
 /// Most patterns the refined encoder can retain for one component of an
 /// `n_features`-wide summary: the miner's candidate cap (256), further

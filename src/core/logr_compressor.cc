@@ -5,12 +5,12 @@
 
 namespace logr {
 
-LogRSummary Compress(const QueryLog& log, const LogROptions& opts) {
+LogRSummary Compress(const LogView& log, const LogROptions& opts) {
   if (opts.num_shards > 1) return CompressSharded(log, opts);
   return CompressionPipeline(log, opts).RunFixedK();
 }
 
-LogRSummary CompressToErrorTarget(const QueryLog& log, double error_target,
+LogRSummary CompressToErrorTarget(const LogView& log, double error_target,
                                   std::size_t max_clusters,
                                   const LogROptions& opts) {
   // Sharding covers the fixed-K strategy only; fail loudly rather than
@@ -28,7 +28,7 @@ LogRSummary CompressToErrorTarget(const QueryLog& log, double error_target,
                                                     max_clusters);
 }
 
-LogRSummary CompressAdaptive(const QueryLog& log, std::size_t num_clusters,
+LogRSummary CompressAdaptive(const LogView& log, std::size_t num_clusters,
                              const LogROptions& opts) {
   LOGR_CHECK_MSG(opts.num_shards <= 1,
                  "num_shards > 1 is only supported by Compress");

@@ -16,23 +16,28 @@
 #define LOGR_CORE_LOGR_COMPRESSOR_H_
 
 #include "core/pipeline.h"
+#include "workload/log_view.h"
 #include "workload/query_log.h"
 
 namespace logr {
 
 /// Compresses `log` into `opts.num_clusters` partitions summarized by
 /// the registry-resolved encoder (opts.encoder; "naive" by default).
-/// When opts.num_shards > 1 the log is compressed shard-wise (one
-/// pipeline per shard, merged and reconciled back to num_clusters; see
-/// core/sharded.h — mergeable encoders only) with bit-deterministic
-/// results for any thread count and shard order.
-LogRSummary Compress(const QueryLog& log, const LogROptions& opts);
+/// The log is read through a LogView: pass a QueryLog or an
+/// MmapQueryLog (both convert implicitly) — an mmap'd .logrl is
+/// compressed in place, no Materialize() on the hot path, with a
+/// bit-identical summary either way. When opts.num_shards > 1 the log
+/// is compressed shard-wise (one pipeline per shard, merged and
+/// reconciled back to num_clusters; see core/sharded.h — mergeable
+/// encoders only) with bit-deterministic results for any thread count
+/// and shard order.
+LogRSummary Compress(const LogView& log, const LogROptions& opts);
 
 /// Grows K until the generalized Reproduction Error drops to
 /// `error_target` or K reaches `max_clusters`, returning the first
 /// summary meeting the target. Runs on the hierarchical backend (one
 /// agglomeration, monotone cuts) unless `opts.backend` names another.
-LogRSummary CompressToErrorTarget(const QueryLog& log, double error_target,
+LogRSummary CompressToErrorTarget(const LogView& log, double error_target,
                                   std::size_t max_clusters,
                                   const LogROptions& opts);
 
@@ -43,7 +48,7 @@ LogRSummary CompressToErrorTarget(const QueryLog& log, double error_target,
 /// observation that messy clusters "need further sub-clustering", spends
 /// the cluster budget where the Error lives, and yields monotone
 /// refinements like hierarchical cuts while keeping k-means locality.
-LogRSummary CompressAdaptive(const QueryLog& log, std::size_t num_clusters,
+LogRSummary CompressAdaptive(const LogView& log, std::size_t num_clusters,
                              const LogROptions& opts);
 
 }  // namespace logr

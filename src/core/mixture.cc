@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "cluster/nn_chain.h"
 #include "maxent/entropy.h"
 #include "util/check.h"
 
@@ -47,13 +48,31 @@ bool CanonicalLess(const MixtureComponent& a, const MixtureComponent& b) {
 /// is msum / n, and the empirical entropy uses the grouping property —
 /// which is associative, so pairwise aggregation equals the flat
 /// formula over the original components.
+struct MarginalSum {
+  FeatureId feature;
+  double sum;   // Σ n_i · marginal_i over the group's members
+  double lsum;  // cached std::log(sum), refreshed only when sum changes
+};
+
 struct ReconcileGroup {
   std::uint64_t n = 0;   // total queries in the group
   double ent = 0.0;      // grouping-entropy estimate of the union
   double cost = 0.0;     // (n / grand_total) * max(0, maxent - ent)
-  // Sorted (feature, Σ n_i · marginal_i) pairs over the union support.
-  std::vector<std::pair<FeatureId, double>> msum;
+  // Sorted marginal sums over the union support, each carrying its
+  // cached log so the FuseDelta scans never recompute it.
+  std::vector<MarginalSum> msum;
 };
+
+/// BinaryEntropy(min(sum / n, 1)) with the numerator's log precomputed:
+/// −p·ln p = −p·(ln sum − ln n), so an evaluation whose sum is unchanged
+/// since the group was built costs one log1p instead of two logs.
+/// FuseDelta streams two sorted supports and most features live in only
+/// one of them — exactly the entries whose cached lsum applies.
+double CachedEntropyTerm(double sum, double lsum, double inv, double log_n) {
+  const double p = sum * inv;
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * (lsum - log_n) - (1.0 - p) * std::log1p(-p);
+}
 
 double ReconcileGroupCost(std::uint64_t n, double ent, double maxent,
                           std::uint64_t grand_total) {
@@ -74,7 +93,8 @@ ReconcileGroup MakeReconcileGroup(const MixtureComponent& c,
   const double n = static_cast<double>(g.n);
   double maxent = 0.0;
   for (std::size_t i = 0; i < features.size(); ++i) {
-    g.msum.emplace_back(features[i], n * marginals[i]);
+    const double sum = n * marginals[i];
+    g.msum.push_back({features[i], sum, sum > 0.0 ? std::log(sum) : 0.0});
     maxent += BinaryEntropy(std::min(marginals[i], 1.0));
   }
   g.cost = ReconcileGroupCost(g.n, g.ent, maxent, grand_total);
@@ -100,24 +120,27 @@ double FuseDelta(const ReconcileGroup& a, const ReconcileGroup& b,
   const std::uint64_t n = a.n + b.n;
   if (n == 0) return 0.0;
   const double inv = 1.0 / static_cast<double>(n);
+  const double log_n = std::log(static_cast<double>(n));
   double maxent = 0.0;
   std::size_t i = 0, j = 0;
   while (i < a.msum.size() && j < b.msum.size()) {
-    double sum;
-    if (a.msum[i].first < b.msum[j].first) {
-      sum = a.msum[i++].second;
-    } else if (b.msum[j].first < a.msum[i].first) {
-      sum = b.msum[j++].second;
+    if (a.msum[i].feature < b.msum[j].feature) {
+      const MarginalSum& m = a.msum[i++];
+      maxent += CachedEntropyTerm(m.sum, m.lsum, inv, log_n);
+    } else if (b.msum[j].feature < a.msum[i].feature) {
+      const MarginalSum& m = b.msum[j++];
+      maxent += CachedEntropyTerm(m.sum, m.lsum, inv, log_n);
     } else {
-      sum = a.msum[i++].second + b.msum[j++].second;
+      // Shared feature: the fused sum is new, so its log is too.
+      const double sum = a.msum[i++].sum + b.msum[j++].sum;
+      maxent += CachedEntropyTerm(sum, std::log(sum), inv, log_n);
     }
-    maxent += BinaryEntropy(std::min(sum * inv, 1.0));
   }
   for (; i < a.msum.size(); ++i) {
-    maxent += BinaryEntropy(std::min(a.msum[i].second * inv, 1.0));
+    maxent += CachedEntropyTerm(a.msum[i].sum, a.msum[i].lsum, inv, log_n);
   }
   for (; j < b.msum.size(); ++j) {
-    maxent += BinaryEntropy(std::min(b.msum[j].second * inv, 1.0));
+    maxent += CachedEntropyTerm(b.msum[j].sum, b.msum[j].lsum, inv, log_n);
   }
   const double fused =
       ReconcileGroupCost(n, FusedEntropy(a, b), maxent, grand_total);
@@ -127,32 +150,37 @@ double FuseDelta(const ReconcileGroup& a, const ReconcileGroup& b,
 /// Fuses `b` into `a` (the materializing counterpart of FuseDelta).
 void FuseInto(ReconcileGroup* a, const ReconcileGroup& b,
               std::uint64_t grand_total) {
-  std::vector<std::pair<FeatureId, double>> merged;
+  std::vector<MarginalSum> merged;
   merged.reserve(a->msum.size() + b.msum.size());
   const std::uint64_t n = a->n + b.n;
   const double inv = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  const double log_n = n > 0 ? std::log(static_cast<double>(n)) : 0.0;
   double maxent = 0.0;
   std::size_t i = 0, j = 0;
   while (i < a->msum.size() && j < b.msum.size()) {
-    if (a->msum[i].first < b.msum[j].first) {
+    if (a->msum[i].feature < b.msum[j].feature) {
       merged.push_back(a->msum[i++]);
-    } else if (b.msum[j].first < a->msum[i].first) {
+    } else if (b.msum[j].feature < a->msum[i].feature) {
       merged.push_back(b.msum[j++]);
     } else {
-      merged.emplace_back(a->msum[i].first,
-                          a->msum[i].second + b.msum[j].second);
+      const double sum = a->msum[i].sum + b.msum[j].sum;
+      merged.push_back(
+          {a->msum[i].feature, sum, sum > 0.0 ? std::log(sum) : 0.0});
       ++i;
       ++j;
     }
-    maxent += BinaryEntropy(std::min(merged.back().second * inv, 1.0));
+    const MarginalSum& m = merged.back();
+    maxent += CachedEntropyTerm(m.sum, m.lsum, inv, log_n);
   }
   for (; i < a->msum.size(); ++i) {
     merged.push_back(a->msum[i]);
-    maxent += BinaryEntropy(std::min(merged.back().second * inv, 1.0));
+    const MarginalSum& m = merged.back();
+    maxent += CachedEntropyTerm(m.sum, m.lsum, inv, log_n);
   }
   for (; j < b.msum.size(); ++j) {
     merged.push_back(b.msum[j]);
-    maxent += BinaryEntropy(std::min(merged.back().second * inv, 1.0));
+    const MarginalSum& m = merged.back();
+    maxent += CachedEntropyTerm(m.sum, m.lsum, inv, log_n);
   }
   a->ent = FusedEntropy(*a, b);
   a->n = n;
@@ -244,7 +272,7 @@ MixtureComponent ComponentAccumulator::FinalizeComponent(
 }
 
 NaiveMixtureEncoding NaiveMixtureEncoding::FromPartition(
-    const QueryLog& log, const std::vector<int>& assignment, std::size_t k,
+    const LogView& log, const std::vector<int>& assignment, std::size_t k,
     ThreadPool* pool) {
   LOGR_CHECK(assignment.size() == log.NumDistinct());
   const double total = static_cast<double>(log.TotalQueries());
@@ -271,7 +299,7 @@ NaiveMixtureEncoding NaiveMixtureEncoding::FromPartition(
     weights.reserve(comp.members.size());
     std::uint64_t count = 0;
     for (std::size_t i : comp.members) {
-      vecs.push_back(log.Vector(i));
+      vecs.push_back(log.VectorAt(i));
       weights.push_back(static_cast<double>(log.Multiplicity(i)));
       count += log.Multiplicity(i);
     }
@@ -411,8 +439,13 @@ NaiveMixtureEncoding NaiveMixtureEncoding::Reconcile(std::size_t k,
     members[i].push_back(&components_[i]);
   }
 
-  std::vector<std::uint8_t> active(count, 1);
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  // Chain walk, active-slot list, and deterministic chunked argmin come
+  // from cluster/nn_chain.h (shared with the hierarchical fit); the
+  // fused-error linkage scans in smaller chunks because one FuseDelta
+  // costs far more than one matrix read.
+  NNChainScan scan(count, /*scan_chunk=*/64, /*scan_grain=*/8, pool);
+
+  constexpr std::size_t kNone = NNChainScan::kNone;
   std::vector<std::size_t> cached_arg(count, kNone);
   std::vector<double> cached_delta(count, 0.0);
   std::vector<std::size_t> cached_epoch(count, 0);
@@ -420,26 +453,8 @@ NaiveMixtureEncoding NaiveMixtureEncoding::Reconcile(std::size_t k,
   std::vector<std::size_t> merge_log;
   merge_log.reserve(count);
 
-  // Compact ascending list of (mostly) active slots; swept when half
-  // dead, exactly like the hierarchical agglomeration.
-  std::vector<std::uint32_t> slot_list(count);
-  std::iota(slot_list.begin(), slot_list.end(), 0);
-  std::size_t dead = 0;
-  auto maybe_compact = [&] {
-    if (dead * 2 <= slot_list.size()) return;
-    slot_list.erase(std::remove_if(slot_list.begin(), slot_list.end(),
-                                   [&](std::uint32_t s) { return !active[s]; }),
-                    slot_list.end());
-    dead = 0;
-  };
-
-  // Chunked deterministic argmin scan (see AgglomerativeAverageLinkage).
-  constexpr std::size_t kScanChunk = 64;
-  std::vector<double> chunk_best((count + kScanChunk - 1) / kScanChunk);
-  std::vector<std::size_t> chunk_arg(chunk_best.size());
-
   auto nearest = [&](std::size_t a) {
-    if (cached_arg[a] != kNone && active[cached_arg[a]]) {
+    if (cached_arg[a] != kNone && scan.IsActive(cached_arg[a])) {
       // Catch up on merges since validation. If the cached partner
       // itself re-merged, its recorded linkage is stale in an unknown
       // direction — fall through to a full rescan. Otherwise every
@@ -454,7 +469,7 @@ NaiveMixtureEncoding NaiveMixtureEncoding::Reconcile(std::size_t k,
           stale = true;
           break;
         }
-        if (!active[m] || m == a) continue;
+        if (!scan.IsActive(m) || m == a) continue;
         const double nd = FuseDelta(groups[a], groups[m], total);
         if (nd < best || (nd == best && m < arg)) {
           best = nd;
@@ -468,82 +483,32 @@ NaiveMixtureEncoding NaiveMixtureEncoding::Reconcile(std::size_t k,
         return std::make_pair(arg, best);
       }
     }
-    const std::size_t list_len = slot_list.size();
-    const std::size_t num_chunks = (list_len + kScanChunk - 1) / kScanChunk;
-    const std::uint32_t* list = slot_list.data();
-    ParallelForInlinable(pool, 0, num_chunks, 8, [&](std::size_t c) {
-      const std::size_t lo = c * kScanChunk;
-      const std::size_t hi = std::min(list_len, lo + kScanChunk);
-      double best = std::numeric_limits<double>::max();
-      std::size_t arg = kNone;
-      for (std::size_t p = lo; p < hi; ++p) {
-        const std::size_t j = list[p];
-        if (!active[j] || j == a) continue;
-        const double d = FuseDelta(groups[a], groups[j], total);
-        // Ascending j keeps the first (smallest-index) minimum.
-        if (d < best) {
-          best = d;
-          arg = j;
-        }
-      }
-      chunk_best[c] = best;
-      chunk_arg[c] = arg;
-    });
-    double best = std::numeric_limits<double>::max();
-    std::size_t arg = a;
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      if (chunk_arg[c] != kNone && chunk_best[c] < best) {
-        best = chunk_best[c];
-        arg = chunk_arg[c];
-      }
-    }
-    cached_arg[a] = arg;
-    cached_delta[a] = best;
+    const std::pair<std::size_t, double> found =
+        scan.Argmin(a, [&](std::size_t j) {
+          return FuseDelta(groups[a], groups[j], total);
+        });
+    cached_arg[a] = found.first;
+    cached_delta[a] = found.second;
     cached_epoch[a] = merge_log.size();
-    return std::make_pair(arg, best);
+    return found;
   };
 
-  std::vector<std::size_t> chain;
-  chain.reserve(count);
-  std::size_t remaining = count;
-  while (remaining > k) {
-    if (chain.empty()) {
-      for (std::size_t i = 0; i < count; ++i) {
-        if (active[i]) {
-          chain.push_back(i);
-          break;
-        }
-      }
-    }
-    for (;;) {
-      const std::size_t a = chain.back();
-      const auto [b, delta_ab] = nearest(a);
-      (void)delta_ab;
-      if (chain.size() >= 2 && b == chain[chain.size() - 2]) {
-        chain.pop_back();
-        chain.pop_back();
-        FuseInto(&groups[a], groups[b], total);
-        members[a].insert(members[a].end(), members[b].begin(),
-                          members[b].end());
-        members[b].clear();
-        groups[b] = ReconcileGroup();
-        active[b] = 0;
-        ++dead;
-        cached_arg[a] = kNone;
-        merge_log.push_back(a);
-        maybe_compact();
-        --remaining;
-        // Fused-error linkage is not reducible (a fusion can move the
-        // merged group closer to a chain predecessor than its recorded
-        // successor), so the chain prefix may be stale. Restart the
-        // walk — the caches carry over, so rebuilding costs O(1) per
-        // step, and the restart point is deterministic.
-        chain.clear();
-        break;
-      }
-      chain.push_back(b);
-    }
-  }
+  auto merge = [&](std::size_t a, std::size_t b, double /*delta_ab*/) {
+    FuseInto(&groups[a], groups[b], total);
+    members[a].insert(members[a].end(), members[b].begin(),
+                      members[b].end());
+    members[b].clear();
+    groups[b] = ReconcileGroup();
+    cached_arg[a] = kNone;
+    merge_log.push_back(a);
+  };
+
+  // Fused-error linkage is not reducible (a fusion can move the merged
+  // group closer to a chain predecessor than its recorded successor),
+  // so the driver restarts the chain after every merge — the caches
+  // carry over, so rebuilding costs O(1) per step, and the restart
+  // point is deterministic.
+  NNChainAgglomerate(scan, k, /*reducible=*/false, nearest, merge);
 
   std::vector<MixtureComponent> fused;
   fused.reserve(k);

@@ -19,6 +19,7 @@
 
 #include "core/naive_encoding.h"
 #include "util/thread_pool.h"
+#include "workload/log_view.h"
 #include "workload/query_log.h"
 
 namespace logr {
@@ -77,10 +78,12 @@ class NaiveMixtureEncoding {
   NaiveMixtureEncoding() = default;
 
   /// Builds the mixture over a clustering `assignment` of the log's
-  /// distinct vectors (values in [0, k)). Components encode in parallel
-  /// across `pool` (nullptr = serial); the result is bit-identical for
-  /// any pool size because each component accumulates in index order.
-  static NaiveMixtureEncoding FromPartition(const QueryLog& log,
+  /// distinct vectors (values in [0, k)). The log is read through a
+  /// LogView (heap QueryLog or mmap'd .logrl alike; both convert
+  /// implicitly). Components encode in parallel across `pool` (nullptr
+  /// = serial); the result is bit-identical for any pool size because
+  /// each component accumulates in index order.
+  static NaiveMixtureEncoding FromPartition(const LogView& log,
                                             const std::vector<int>& assignment,
                                             std::size_t k,
                                             ThreadPool* pool = nullptr);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/distance.h"
 #include "util/check.h"
 
 namespace logr {
@@ -76,6 +77,10 @@ ClusterRequest PipelineContext::Request(std::size_t k) const {
   req.seed = opts.seed;
   req.n_init = opts.n_init;
   req.pool = pool;
+  // Full-log requests share the context's pool; callers clustering a
+  // *subset* of the vectors (adaptive bisection) must null this out —
+  // pool rows are indexed by full-log distinct index.
+  req.packed = has_packed ? &packed : nullptr;
   return req;
 }
 
@@ -89,10 +94,10 @@ EncodeRequest PipelineContext::EncodeReq(std::size_t k) const {
   return req;
 }
 
-CompressionPipeline::CompressionPipeline(const QueryLog& log,
+CompressionPipeline::CompressionPipeline(const LogView& log,
                                          const LogROptions& opts) {
   LOGR_CHECK(log.NumDistinct() > 0);
-  ctx_.log = &log;
+  ctx_.log = log;
   ctx_.opts = opts;
   ctx_.rng = Pcg32(opts.seed);
   ctx_.pool = opts.pool ? opts.pool : ThreadPool::Shared();
@@ -106,13 +111,25 @@ CompressionPipeline::CompressionPipeline(const QueryLog& log,
   ctx_.num_features = log.NumFeatures();
   ctx_.vecs.reserve(log.NumDistinct());
   for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
-    ctx_.vecs.push_back(log.Vector(i));
+    ctx_.vecs.push_back(log.VectorAt(i));
   }
   if (opts.multiplicity_weighted) {
     ctx_.weights.reserve(log.NumDistinct());
     for (std::size_t i = 0; i < log.NumDistinct(); ++i) {
       ctx_.weights.push_back(static_cast<double>(log.Multiplicity(i)));
     }
+  }
+  // The one pool per compression: packed straight from the view's id
+  // spans (zero copies off an mmap'd log) and shared with every
+  // distance / seeding consumer through Request(). Oversized universes
+  // skip it and the backends fall back to their merge kernels.
+  ctx_.builds_at_start = PackedVecPool::BuildCount();
+  if (PackedPoolFits(log.NumDistinct(), ctx_.num_features,
+                     /*with_columns=*/true)) {
+    Stopwatch pack_timer;
+    ctx_.packed = log.Pack(/*build_columns=*/true);
+    ctx_.has_packed = true;
+    pack_seconds_ = pack_timer.ElapsedSeconds();
   }
 }
 
@@ -128,9 +145,11 @@ LogRSummary CompressionPipeline::EncodeStage(std::vector<int> assignment,
                                              std::size_t k) {
   LogRSummary out;
   out.assignment = std::move(assignment);
-  out.model = ctx_.encoder->Encode(*ctx_.log, out.assignment,
+  out.model = ctx_.encoder->Encode(ctx_.log, out.assignment,
                                    ctx_.EncodeReq(k));
   out.cluster_seconds = cluster_seconds_;
+  out.pack_seconds = pack_seconds_;
+  out.pool_builds = PackedVecPool::BuildCount() - ctx_.builds_at_start;
   out.total_seconds = ctx_.timer.ElapsedSeconds();
   return out;
 }
@@ -139,13 +158,13 @@ LogRSummary CompressionPipeline::RunFixedK() {
   // More clusters than distinct vectors buys nothing and would make the
   // encode stage allocate opts.num_clusters components.
   const std::size_t k =
-      std::min(ctx_.opts.num_clusters, ctx_.log->NumDistinct());
+      std::min(ctx_.opts.num_clusters, ctx_.log.NumDistinct());
   return EncodeStage(ClusterStage(k), k);
 }
 
 LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
                                                 std::size_t max_clusters) {
-  max_clusters = std::min(max_clusters, ctx_.log->NumDistinct());
+  max_clusters = std::min(max_clusters, ctx_.log.NumDistinct());
   Stopwatch fit_timer;
   std::unique_ptr<ClusterModel> model =
       ctx_.clusterer->Fit(ctx_.vecs, ctx_.weights, ctx_.Request(1));
@@ -161,7 +180,7 @@ LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
     Stopwatch cut_timer;
     std::vector<int> cut = model->Cut(k);
     cluster_seconds_ += cut_timer.ElapsedSeconds();
-    best = NaiveMixtureEncoding::FromPartition(*ctx_.log, cut, k, ctx_.pool);
+    best = NaiveMixtureEncoding::FromPartition(ctx_.log, cut, k, ctx_.pool);
     assignment = std::move(cut);
     chosen = k;
     if (best.Error() <= error_target) break;
@@ -174,9 +193,11 @@ LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
     // meets the target.
     LogRSummary out;
     out.assignment = std::move(assignment);
-    out.model = ctx_.encoder->WrapMixture(*ctx_.log, std::move(best),
+    out.model = ctx_.encoder->WrapMixture(ctx_.log, std::move(best),
                                           ctx_.EncodeReq(chosen));
     out.cluster_seconds = cluster_seconds_;
+    out.pack_seconds = pack_seconds_;
+    out.pool_builds = PackedVecPool::BuildCount() - ctx_.builds_at_start;
     out.total_seconds = ctx_.timer.ElapsedSeconds();
     return out;
   }
@@ -230,7 +251,7 @@ LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
 }
 
 LogRSummary CompressionPipeline::RunAdaptive(std::size_t num_clusters) {
-  const QueryLog& log = *ctx_.log;
+  const LogView& log = ctx_.log;
   num_clusters = std::min(num_clusters, log.NumDistinct());
 
   std::vector<int> assignment(log.NumDistinct(), 0);
@@ -263,13 +284,16 @@ LogRSummary CompressionPipeline::RunAdaptive(std::size_t num_clusters) {
     for (std::size_t i = 0; i < assignment.size(); ++i) {
       if (assignment[i] == worst) {
         members.push_back(i);
-        vecs.push_back(log.Vector(i));
+        vecs.push_back(log.VectorAt(i));
         if (ctx_.opts.multiplicity_weighted) {
           weights.push_back(static_cast<double>(log.Multiplicity(i)));
         }
       }
     }
     ClusterRequest req = ctx_.Request(2);
+    // The shared pool indexes full-log rows; this request clusters the
+    // subset `vecs`, so it must not carry the pool.
+    req.packed = nullptr;
     // Each bisection gets a fresh seed from the pipeline's PRNG: the
     // draw order is deterministic, so results are reproducible and
     // independent of the thread count. Separate statements — operand

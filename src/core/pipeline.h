@@ -26,6 +26,7 @@
 #include "util/prng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "workload/log_view.h"
 #include "workload/query_log.h"
 
 namespace logr {
@@ -109,6 +110,14 @@ struct LogRSummary {
   std::shared_ptr<const WorkloadModel> model;
   std::vector<int> assignment;   // cluster per distinct vector
   double cluster_seconds = 0.0;  // wall-clock of the clustering stage
+  /// Wall-clock of building the shared PackedVecPool — reported apart
+  /// from cluster_seconds so packing cost is no longer silently folded
+  /// into clustering time.
+  double pack_seconds = 0.0;
+  /// PackedVecPool builds observed during this pipeline (a delta of the
+  /// process-wide counter, so concurrent pipelines overlap). The
+  /// zero-copy contract is exactly 1 per single-shard Compress.
+  std::uint64_t pool_builds = 0;
   double total_seconds = 0.0;    // wall-clock of the whole pipeline
 
   /// Checked facade access: aborts when the summary was never filled.
@@ -117,7 +126,9 @@ struct LogRSummary {
 
 /// Shared state threaded through the pipeline stages.
 struct PipelineContext {
-  const QueryLog* log = nullptr;
+  /// View over the input log — a heap QueryLog or an mmap'd .logrl;
+  /// the pipeline never materializes the latter.
+  LogView log;
   LogROptions opts;
   /// Seeded from opts.seed; strategies draw per-stage seeds from it
   /// (e.g. one per adaptive bisection) in a deterministic order.
@@ -129,6 +140,15 @@ struct PipelineContext {
   std::vector<FeatureVec> vecs;     // the log's distinct vectors
   std::vector<double> weights;      // multiplicity weights (may be empty)
   std::size_t num_features = 0;
+  /// The one packed pool per compression, built in the constructor
+  /// straight from the log view's id spans and shared (via Request)
+  /// with every distance/seeding consumer. Unbuilt (has_packed false)
+  /// only when the universe exceeds the packed-pool budget.
+  PackedVecPool packed;
+  bool has_packed = false;
+  /// PackedVecPool::BuildCount() at construction — EncodeStage reports
+  /// the delta as LogRSummary::pool_builds.
+  std::uint64_t builds_at_start = 0;
 
   /// ClusterRequest for a K-cluster run under these options.
   ClusterRequest Request(std::size_t k) const;
@@ -140,9 +160,10 @@ struct PipelineContext {
 class CompressionPipeline {
  public:
   /// Resolves the clustering and encoder backends (aborts on an unknown
-  /// name) and caches the log's distinct vectors and weights. `log`
-  /// must outlive the pipeline.
-  CompressionPipeline(const QueryLog& log, const LogROptions& opts);
+  /// name), caches the log's distinct vectors and weights, and builds
+  /// the shared packed pool. The log behind `log` (QueryLog or
+  /// MmapQueryLog — both convert implicitly) must outlive the pipeline.
+  CompressionPipeline(const LogView& log, const LogROptions& opts);
 
   // --- stages ---------------------------------------------------------
 
@@ -177,6 +198,7 @@ class CompressionPipeline {
  private:
   PipelineContext ctx_;
   double cluster_seconds_ = 0.0;
+  double pack_seconds_ = 0.0;
 };
 
 }  // namespace logr

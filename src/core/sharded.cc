@@ -11,10 +11,13 @@ namespace {
 
 /// FNV-1a over the vector's id bytes: a stable hash (unlike std::hash)
 /// so shard membership never varies across runs, platforms, or library
-/// versions.
-std::uint64_t StableVectorHash(const FeatureVec& v) {
+/// versions. Takes the view's raw id span — the same bytes whether the
+/// log lives on the heap or in an mmap'd .logrl — so both backings
+/// shard identically.
+std::uint64_t StableVectorHash(const FeatureId* ids, std::size_t len) {
   std::uint64_t h = 1469598103934665603ull;
-  for (FeatureId f : v.ids) {
+  for (std::size_t i = 0; i < len; ++i) {
+    const FeatureId f = ids[i];
     for (int shift = 0; shift < 32; shift += 8) {
       h ^= static_cast<std::uint64_t>((f >> shift) & 0xffu);
       h *= 1099511628211ull;
@@ -33,9 +36,9 @@ ThreadPool* SerialPool() {
 
 }  // namespace
 
-ShardedCompressor::ShardedCompressor(const QueryLog& log,
+ShardedCompressor::ShardedCompressor(const LogView& log,
                                      const LogROptions& opts)
-    : log_(&log), opts_(opts) {
+    : log_(log), opts_(opts) {
   LOGR_CHECK(log.NumDistinct() > 0);
   LOGR_CHECK(opts.num_shards >= 1);
 }
@@ -45,14 +48,16 @@ std::size_t ShardedCompressor::ClustersPerShard(const LogROptions& opts) {
 }
 
 std::vector<std::vector<std::size_t>> ShardedCompressor::PartitionIndices(
-    const QueryLog& log, std::size_t num_shards, ShardPolicy policy) {
+    const LogView& log, std::size_t num_shards, ShardPolicy policy) {
   LOGR_CHECK(num_shards >= 1);
   const std::size_t n = log.NumDistinct();
   std::vector<std::vector<std::size_t>> shards(num_shards);
   switch (policy) {
     case ShardPolicy::kHashDistinct:
       for (std::size_t i = 0; i < n; ++i) {
-        shards[StableVectorHash(log.Vector(i)) % num_shards].push_back(i);
+        const std::uint64_t h =
+            StableVectorHash(log.VectorIds(i), log.VectorSize(i));
+        shards[h % num_shards].push_back(i);
       }
       break;
     case ShardPolicy::kContiguousRange:
@@ -73,17 +78,18 @@ std::vector<std::vector<std::size_t>> ShardedCompressor::PartitionIndices(
 
 LogRSummary ShardedCompressor::Run() {
   Stopwatch timer;
-  const QueryLog& log = *log_;
+  const LogView& log = log_;
   const std::vector<std::vector<std::size_t>> shards =
       PartitionIndices(log, opts_.num_shards, opts_.shard_policy);
   const std::size_t S = shards.size();
 
   // Subset building is cheap relative to clustering; keep it serial so
-  // the shard logs exist before the pool fans out.
+  // the shard logs exist before the pool fans out. Each shard owns its
+  // sublog (materialized straight off the view, mmap or heap alike).
   std::vector<QueryLog> shard_logs;
   shard_logs.reserve(S);
   for (const std::vector<std::size_t>& indices : shards) {
-    shard_logs.push_back(log.Subset(indices));
+    shard_logs.push_back(log.MaterializeSubset(indices));
   }
 
   // The merge machinery is exact only for the naive mixture family:
@@ -116,8 +122,8 @@ LogRSummary ShardedCompressor::Run() {
   });
 
   // Pool the per-shard mixtures with members remapped to global distinct
-  // indices. Subset() preserves index order, so shard-local distinct i
-  // is global shards[s][i].
+  // indices. MaterializeSubset() preserves index order, so shard-local
+  // distinct i is global shards[s][i].
   double shard_cluster_seconds = 0.0;
   std::vector<NaiveMixtureEncoding> parts;
   parts.reserve(S);
@@ -169,7 +175,7 @@ LogRSummary ShardedCompressor::Run() {
   return out;
 }
 
-LogRSummary CompressSharded(const QueryLog& log, const LogROptions& opts) {
+LogRSummary CompressSharded(const LogView& log, const LogROptions& opts) {
   return ShardedCompressor(log, opts).Run();
 }
 

@@ -24,17 +24,19 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "workload/log_view.h"
 #include "workload/query_log.h"
 
 namespace logr {
 
 class ShardedCompressor {
  public:
-  /// `log` must outlive the compressor. Shard count and policy come from
-  /// `opts` (num_shards, shard_policy); each shard is compressed to
+  /// The log behind `log` must outlive the compressor (a QueryLog or an
+  /// MmapQueryLog; both convert implicitly). Shard count and policy come
+  /// from `opts` (num_shards, shard_policy); each shard is compressed to
   /// opts.num_clusters components and the merged pool is reconciled back
   /// to opts.num_clusters.
-  ShardedCompressor(const QueryLog& log, const LogROptions& opts);
+  ShardedCompressor(const LogView& log, const LogROptions& opts);
 
   /// Partition → per-shard pipelines → merge → reconcile → (refine).
   /// The summary has the same shape as a monolithic Compress: a global
@@ -54,18 +56,20 @@ class ShardedCompressor {
 
   /// The distinct-index partition for `policy`: every index in
   /// [0, log.NumDistinct()) appears in exactly one shard; empty shards
-  /// are dropped. Deterministic in the log content alone.
+  /// are dropped. Deterministic in the log content alone (the hash runs
+  /// over the raw feature-id bytes, so a heap log and its mmap'd binary
+  /// image shard identically).
   static std::vector<std::vector<std::size_t>> PartitionIndices(
-      const QueryLog& log, std::size_t num_shards, ShardPolicy policy);
+      const LogView& log, std::size_t num_shards, ShardPolicy policy);
 
  private:
-  const QueryLog* log_;
+  LogView log_;
   LogROptions opts_;
 };
 
 /// Convenience wrapper: ShardedCompressor(log, opts).Run(). Compress()
 /// routes here when opts.num_shards > 1.
-LogRSummary CompressSharded(const QueryLog& log, const LogROptions& opts);
+LogRSummary CompressSharded(const LogView& log, const LogROptions& opts);
 
 }  // namespace logr
 

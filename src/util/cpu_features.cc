@@ -1,0 +1,72 @@
+#include "util/cpu_features.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace logr {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// XCR0 via the xgetbv instruction, encoded as raw bytes so no -mxsave
+// target flag is needed. Only valid to execute when CPUID reports
+// OSXSAVE (checked by the caller).
+std::uint64_t Xgetbv0() {
+  std::uint32_t eax, edx;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures Detect() {
+  CpuFeatures out;
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return out;
+  out.popcnt = (ecx & (1u << 23)) != 0;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+
+  unsigned int ebx7 = 0, ecx7 = 0, edx7 = 0, eax7 = 0;
+  const bool has_leaf7 =
+      __get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) != 0;
+  if (!has_leaf7 || !osxsave) return out;
+
+  const std::uint64_t xcr0 = Xgetbv0();
+  // ymm state: XMM (bit 1) + YMM (bit 2) saved by the OS.
+  const bool ymm_os = (xcr0 & 0x6) == 0x6;
+  // zmm state: opmask (bit 5) + zmm hi256 (bit 6) + hi16 zmm (bit 7).
+  const bool zmm_os = ymm_os && (xcr0 & 0xe0) == 0xe0;
+
+  out.avx2 = ymm_os && (ebx7 & (1u << 5)) != 0;
+  const bool avx512f = (ebx7 & (1u << 16)) != 0;
+  const bool vpopcntdq = (ecx7 & (1u << 14)) != 0;
+  out.avx512_vpopcntdq = zmm_os && avx512f && vpopcntdq;
+  return out;
+}
+
+#else
+
+CpuFeatures Detect() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+bool ForceScalarEnv() {
+  static const bool force = [] {
+    const char* v = std::getenv("LOGR_FORCE_SCALAR");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return force;
+}
+
+}  // namespace logr

@@ -1,0 +1,34 @@
+// Runtime CPU feature detection for the SIMD distance kernels.
+//
+// The library is built for a portable baseline (plus -mpopcnt when the
+// compiler supports it); the wider AVX2 / AVX-512 popcount kernels live
+// in their own translation units compiled with the matching -m flags,
+// and are only ever *called* when the CPU actually reports the feature.
+// Detection runs CPUID directly (no compiler builtins) so the answer
+// also reflects OS state: AVX registers are usable only when OSXSAVE is
+// on and XCR0 says the kernel saves the ymm/zmm state.
+#ifndef LOGR_UTIL_CPU_FEATURES_H_
+#define LOGR_UTIL_CPU_FEATURES_H_
+
+namespace logr {
+
+struct CpuFeatures {
+  bool popcnt = false;  // POPCNT instruction
+  bool avx2 = false;    // AVX2 + OS ymm state support
+  /// AVX-512 VPOPCNTDQ + AVX512F + OS zmm/opmask state support — the
+  /// exact set the 512-bit popcount kernel needs.
+  bool avx512_vpopcntdq = false;
+};
+
+/// CPUID-derived features of the running CPU, detected once per process
+/// and cached. All-false on non-x86 targets.
+const CpuFeatures& DetectCpuFeatures();
+
+/// True when the LOGR_FORCE_SCALAR env var is set (non-empty and not
+/// "0") — pins every dispatched kernel to the scalar reference, so CI
+/// keeps the fallback exercised on wide hardware. Read once and cached.
+bool ForceScalarEnv();
+
+}  // namespace logr
+
+#endif  // LOGR_UTIL_CPU_FEATURES_H_

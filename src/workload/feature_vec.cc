@@ -1,6 +1,7 @@
 #include "workload/feature_vec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "util/check.h"
@@ -64,24 +65,47 @@ std::string FeatureVec::HashKey() const {
   return key;
 }
 
+namespace {
+std::atomic<std::uint64_t> g_pool_builds{0};
+}  // namespace
+
 PackedVecPool::PackedVecPool(const std::vector<FeatureVec>& vecs,
-                             std::size_t n_features, bool build_columns)
-    : count_(vecs.size()),
-      words_((n_features + 63) / 64),
-      n_features_(n_features),
-      has_columns_(build_columns),
-      data_(count_ * words_, 0),
-      bits_(count_, 0),
-      word_off_(count_ + 1, 0) {
+                             std::size_t n_features, bool build_columns) {
+  Build(
+      vecs.size(), n_features,
+      [&vecs](std::size_t i) {
+        return std::pair<const FeatureId*, std::size_t>(vecs[i].ids.data(),
+                                                        vecs[i].ids.size());
+      },
+      build_columns);
+}
+
+PackedVecPool::PackedVecPool(std::size_t count, std::size_t n_features,
+                             const IdSpanFn& ids_of, bool build_columns) {
+  Build(count, n_features, ids_of, build_columns);
+}
+
+void PackedVecPool::Build(std::size_t count, std::size_t n_features,
+                          const IdSpanFn& ids_of, bool build_columns) {
+  g_pool_builds.fetch_add(1, std::memory_order_relaxed);
+  count_ = count;
+  words_ = (n_features + 63) / 64;
+  n_features_ = n_features;
+  has_columns_ = build_columns;
+  data_.assign(count_ * words_, 0);
+  bits_.assign(count_, 0);
+  word_off_.assign(count_ + 1, 0);
   // Single pass over the ids: the id count upper-bounds the nonzero
   // word count, so reserving it keeps the push_backs allocation-free.
   std::size_t total_ids = 0;
-  for (const FeatureVec& v : vecs) total_ids += v.ids.size();
+  for (std::size_t i = 0; i < count_; ++i) total_ids += ids_of(i).second;
   word_idx_.reserve(total_ids);
   for (std::size_t i = 0; i < count_; ++i) {
+    const auto span = ids_of(i);
     std::uint64_t* row = data_.data() + i * words_;
     std::uint64_t last_word = static_cast<std::uint64_t>(-1);
-    for (FeatureId f : vecs[i].ids) {  // ids sorted => words ascending
+    for (std::size_t t = 0; t < span.second; ++t) {
+      const FeatureId f = span.first[t];  // ids sorted => words ascending
       LOGR_DCHECK(f < n_features_);
       const std::uint64_t w = f >> 6;
       if (w != last_word) {
@@ -90,7 +114,7 @@ PackedVecPool::PackedVecPool(const std::vector<FeatureVec>& vecs,
       }
       row[w] |= std::uint64_t{1} << (f & 63);
     }
-    bits_[i] = static_cast<std::uint32_t>(vecs[i].ids.size());
+    bits_[i] = static_cast<std::uint32_t>(span.second);
     max_bits_ = std::max<std::size_t>(max_bits_, bits_[i]);
     word_off_[i + 1] = word_idx_.size();
   }
@@ -106,6 +130,10 @@ PackedVecPool::PackedVecPool(const std::vector<FeatureVec>& vecs,
           static_cast<std::uint8_t>(__builtin_popcountll(row[w]));
     }
   }
+}
+
+std::uint64_t PackedVecPool::BuildCount() {
+  return g_pool_builds.load(std::memory_order_relaxed);
 }
 
 std::size_t PackedVecPool::SymmetricDifference(std::size_t i,
@@ -130,9 +158,13 @@ std::size_t PackedVecPool::StorageWords(std::size_t count,
                                         std::size_t n_features,
                                         bool with_columns) {
   // Row-major u64 data, plus — with columns — the transposed copy and
-  // the u8 popcount plane.
+  // the u8 popcount plane, plus the fixed per-row metadata (u32
+  // popcount and the u64 CSR offset with its +1 sentinel). The
+  // nonzero-word index list is data-dependent (bounded by the id
+  // count, typically ~15 entries/row) and deliberately excluded.
   const std::size_t words = count * ((n_features + 63) / 64);
-  return with_columns ? 2 * words + (words + 7) / 8 : words;
+  const std::size_t meta = (4 * count + 8 * (count + 1) + 7) / 8;
+  return meta + (with_columns ? 2 * words + (words + 7) / 8 : words);
 }
 
 std::vector<double> FeatureVec::ToDense(std::size_t n) const {

@@ -7,7 +7,9 @@
 #define LOGR_WORKLOAD_FEATURE_VEC_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/feature.h"
@@ -78,6 +80,18 @@ class PackedVecPool {
   PackedVecPool(const std::vector<FeatureVec>& vecs, std::size_t n_features,
                 bool build_columns = true);
 
+  /// Callback yielding row `i`'s sorted feature-id span: pointer plus
+  /// length. The span may borrow from anywhere — heap vectors or an
+  /// mmap'd column — which is how a LogView packs zero-copy.
+  using IdSpanFn =
+      std::function<std::pair<const FeatureId*, std::size_t>(std::size_t)>;
+
+  /// Packs `count` rows served by `ids_of` over an `n_features`-wide
+  /// universe — the span twin of the FeatureVec constructor; both build
+  /// the identical pool for identical ids.
+  PackedVecPool(std::size_t count, std::size_t n_features,
+                const IdSpanFn& ids_of, bool build_columns = true);
+
   std::size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
   std::size_t num_features() const { return n_features_; }
@@ -131,7 +145,15 @@ class PackedVecPool {
   static std::size_t StorageWords(std::size_t count, std::size_t n_features,
                                   bool with_columns = true);
 
+  /// Number of pools built process-wide (default-constructed empties
+  /// excluded). Tests assert Compress builds exactly one; the pipeline
+  /// reports it alongside pack_seconds.
+  static std::uint64_t BuildCount();
+
  private:
+  void Build(std::size_t count, std::size_t n_features, const IdSpanFn& ids_of,
+             bool build_columns);
+
   std::size_t count_ = 0;
   std::size_t words_ = 0;
   std::size_t n_features_ = 0;

@@ -1,0 +1,39 @@
+#include "workload/log_view.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace logr {
+
+FeatureVec LogView::VectorAt(std::size_t i) const {
+  if (log_) return log_->Vector(i);
+  return mmap_->VectorAt(i);
+}
+
+QueryLog LogView::MaterializeSubset(
+    const std::vector<std::size_t>& indices) const {
+  if (log_) return log_->Subset(indices);
+  QueryLog out;
+  *out.mutable_vocabulary() = mmap_->vocabulary();
+  for (std::size_t i : indices) {
+    LOGR_CHECK(i < mmap_->NumDistinct());
+    out.Add(mmap_->VectorAt(i), mmap_->Multiplicity(i),
+            std::string(mmap_->SampleSql(i)));
+  }
+  return out;
+}
+
+PackedVecPool LogView::Pack(bool build_columns) const {
+  const LogView& v = *this;
+  return PackedVecPool(
+      NumDistinct(), NumFeatures(),
+      [&v](std::size_t i) {
+        return std::pair<const FeatureId*, std::size_t>(v.VectorIds(i),
+                                                        v.VectorSize(i));
+      },
+      build_columns);
+}
+
+}  // namespace logr

@@ -1,0 +1,94 @@
+// Non-owning read view over a query log's distinct-vector columns.
+//
+// The compression pipeline only ever reads three columns — per-vector
+// feature-id spans, multiplicities, and the feature-universe width —
+// plus the vocabulary for reporting. Both the heap QueryLog and the
+// mmap-backed MmapQueryLog serve those columns, so a LogView lets
+// Compress run straight off an mmap'd .logrl without Materialize()
+// copying every vector onto the heap first. The view borrows; the
+// backing log must outlive it.
+#ifndef LOGR_WORKLOAD_LOG_VIEW_H_
+#define LOGR_WORKLOAD_LOG_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/binary_log.h"
+#include "workload/feature_vec.h"
+#include "workload/query_log.h"
+
+namespace logr {
+
+/// Read-only, non-owning view satisfied by QueryLog and MmapQueryLog.
+/// Implicit construction keeps every QueryLog call site source-
+/// compatible when an API moves from `const QueryLog&` to
+/// `const LogView&`.
+class LogView {
+ public:
+  /// Unbound view; every accessor is invalid until one of the binding
+  /// constructors replaces it. Exists so owning structs (e.g. the
+  /// pipeline context) can default-construct before binding.
+  LogView() = default;
+  LogView(const QueryLog& log) : log_(&log) {}          // NOLINT(runtime/explicit)
+  LogView(const MmapQueryLog& log) : mmap_(&log) {}     // NOLINT(runtime/explicit)
+
+  std::size_t NumDistinct() const {
+    return log_ ? log_->NumDistinct() : mmap_->NumDistinct();
+  }
+  std::uint64_t TotalQueries() const {
+    return log_ ? log_->TotalQueries() : mmap_->TotalQueries();
+  }
+  std::size_t NumFeatures() const {
+    return log_ ? log_->NumFeatures() : mmap_->NumFeatures();
+  }
+  std::uint64_t Multiplicity(std::size_t i) const {
+    return log_ ? log_->Multiplicity(i) : mmap_->Multiplicity(i);
+  }
+  std::uint64_t MaxMultiplicity() const {
+    return log_ ? log_->MaxMultiplicity() : mmap_->MaxMultiplicity();
+  }
+
+  /// Number of feature ids in distinct vector `i`.
+  std::size_t VectorSize(std::size_t i) const {
+    return log_ ? log_->Vector(i).ids.size() : mmap_->VectorSize(i);
+  }
+  /// Span over vector `i`'s sorted feature ids — a borrowed pointer
+  /// into the backing log's storage (heap vector or mapped column).
+  const FeatureId* VectorIds(std::size_t i) const {
+    return log_ ? log_->Vector(i).ids.data() : mmap_->VectorIds(i);
+  }
+  /// Owning copy of vector `i`.
+  FeatureVec VectorAt(std::size_t i) const;
+
+  /// Marginal p(Q ⊇ b | L), delegated to the backing log.
+  double Marginal(const FeatureVec& b) const {
+    return log_ ? log_->Marginal(b) : mmap_->Marginal(b);
+  }
+
+  const Vocabulary& vocabulary() const {
+    return log_ ? log_->vocabulary() : mmap_->vocabulary();
+  }
+
+  /// Builds an owning sub-log of the given distinct-vector indices —
+  /// the per-component logs the refine / pattern encoders mine. For a
+  /// QueryLog backend this is exactly QueryLog::Subset; the mmap
+  /// backend assembles the same columns (vectors, counts, sample SQL,
+  /// vocabulary copy), so both paths produce identical sub-logs.
+  QueryLog MaterializeSubset(const std::vector<std::size_t>& indices) const;
+
+  /// The backing QueryLog, or nullptr for an mmap-backed view. Escape
+  /// hatch for paths that genuinely need owning heap storage.
+  const QueryLog* AsQueryLog() const { return log_; }
+
+  /// Packs the view's vectors into a PackedVecPool straight from the
+  /// id spans — no intermediate FeatureVec copies.
+  PackedVecPool Pack(bool build_columns = true) const;
+
+ private:
+  const QueryLog* log_ = nullptr;
+  const MmapQueryLog* mmap_ = nullptr;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_WORKLOAD_LOG_VIEW_H_

@@ -73,14 +73,6 @@ void Restamp(std::string* bytes) {
                              bytes->size() - kBinaryLogHeaderSize));
 }
 
-std::string SummaryBytes(const QueryLog& log, const LogRSummary& summary) {
-  std::ostringstream out;
-  std::string error;
-  EXPECT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &out, &error))
-      << error;
-  return out.str();
-}
-
 // ----------------------------------------------------------- round trips
 
 void ExpectRoundTrip(const LogLoader& loader, const std::string& name) {
@@ -252,11 +244,26 @@ void ExpectCompressIdentical(LogLoader loader, const std::string& tag,
   opts.n_init = 1;
   opts.num_shards = num_shards;
   const QueryLog text_log = loader.TakeLog();
-  const QueryLog binary_log = mapped.Materialize();
   const LogRSummary from_text = Compress(text_log, opts);
-  const LogRSummary from_binary = Compress(binary_log, opts);
-  EXPECT_EQ(SummaryBytes(text_log, from_text),
-            SummaryBytes(binary_log, from_binary));
+  // Zero-copy leg: the mmap view feeds the pipeline directly, no
+  // Materialize() — the summary must still match the heap path bit for
+  // bit.
+  const LogRSummary from_mmap = Compress(mapped, opts);
+  std::ostringstream text_bytes, mmap_bytes;
+  std::string werror;
+  ASSERT_TRUE(WriteSummary(text_log.vocabulary(), from_text.Model(),
+                           &text_bytes, &werror))
+      << werror;
+  ASSERT_TRUE(WriteSummary(mapped.vocabulary(), from_mmap.Model(),
+                           &mmap_bytes, &werror))
+      << werror;
+  EXPECT_EQ(text_bytes.str(), mmap_bytes.str());
+  if (num_shards <= 1) {
+    // One Compress = one PackedVecPool build, shared from the distance
+    // matrix through seeding and agglomeration.
+    EXPECT_EQ(from_text.pool_builds, 1u);
+    EXPECT_EQ(from_mmap.pool_builds, 1u);
+  }
 }
 
 TEST(BinaryLogCompressTest, MonolithicBitIdenticalBank) {

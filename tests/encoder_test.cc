@@ -113,7 +113,7 @@ class ConstantEncoder : public Encoder {
  public:
   const char* Name() const override { return "test_constant"; }
   std::shared_ptr<const WorkloadModel> Encode(
-      const QueryLog& log, const std::vector<int>&,
+      const LogView& log, const std::vector<int>&,
       const EncodeRequest&) const override {
     return std::make_shared<ConstantModel>(log.TotalQueries());
   }
