@@ -14,8 +14,10 @@
 #include "cluster/hierarchical.h"
 #include "cluster/spectral.h"
 #include "cluster/xor_popcount.h"
+#include "core/distributed.h"
 #include "core/logr_compressor.h"
 #include "core/mixture.h"
+#include "core/sharded.h"
 #include "core/streaming.h"
 #include "core/naive_encoding.h"
 #include "maxent/deviation.h"
@@ -461,6 +463,79 @@ BENCHMARK(BM_ShardedCompress)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// The synthetic 50k log split into 8 shard .logrl files under a
+/// per-pid /tmp directory (same split the in-process sharded path
+/// computes), written once per process.
+const std::vector<std::string>& DistributedShardsSingleton() {
+  static const std::vector<std::string>* kPaths = [] {
+    const QueryLog& log = Synthetic50kLogSingleton();
+    const std::string dir =
+        "/tmp/logr_micro_dist." + std::to_string(::getpid());
+    std::string error;
+    LOGR_CHECK_MSG(EnsureDirectory(dir, &error), error.c_str());
+    LogView view(log);
+    const std::vector<std::vector<std::size_t>> parts =
+        ShardedCompressor::PartitionIndices(view, 8,
+                                            ShardPolicy::kHashDistinct);
+    auto* paths = new std::vector<std::string>();
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      QueryLog sublog = view.MaterializeSubset(parts[s]);
+      DatasetSummary stats;
+      stats.name = "dist-s" + std::to_string(s);
+      stats.num_queries = sublog.TotalQueries();
+      stats.num_distinct = sublog.NumDistinct();
+      stats.num_features = sublog.NumFeatures();
+      stats.max_multiplicity = sublog.MaxMultiplicity();
+      const std::string path =
+          dir + "/shard-" + std::to_string(s) + ".logrl";
+      LOGR_CHECK_MSG(BinaryLogWriter::WriteFile(path, sublog, stats, &error),
+                     error.c_str());
+      paths->push_back(path);
+    }
+    return paths;
+  }();
+  return *kPaths;
+}
+
+void BM_DistributedCompress(benchmark::State& state) {
+  // Scatter/gather over fork-mode worker processes (Arg = concurrent
+  // workers) on the same 8-shard split as BM_ShardedCompress. The spool
+  // is cold every iteration (reuse_spool off), so each iteration pays
+  // the full per-shard compression; on multi-core hardware wall-clock
+  // scales near-linearly with the worker count while the gathered
+  // summary stays bit-identical to the in-process sharded merge.
+  const std::vector<std::string>& shards = DistributedShardsSingleton();
+  double error = 0.0;
+  std::size_t launched = 0;
+  for (auto _ : state) {
+    DistributedOptions opts;
+    opts.num_workers = static_cast<std::size_t>(state.range(0));
+    opts.compression.num_clusters = 16;
+    opts.compression.n_init = 1;
+    opts.spool_dir =
+        "/tmp/logr_micro_dist." + std::to_string(::getpid()) + "/spool";
+    opts.reuse_spool = false;
+    DistributedResult result;
+    std::string derror;
+    LOGR_CHECK_MSG(CompressDistributed(shards, opts, &result, &derror),
+                   derror.c_str());
+    error = result.summary.model->Error();
+    launched = result.workers_launched;
+    benchmark::DoNotOptimize(error);
+  }
+  state.counters["workers"] = static_cast<double>(state.range(0));
+  state.counters["shards"] = static_cast<double>(shards.size());
+  state.counters["spawns"] = static_cast<double>(launched);
+  state.counters["error_nats"] = error;
+}
+// Workers run in child processes, so only real time sees the scaling.
+BENCHMARK(BM_DistributedCompress)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 const QueryLog& EncoderBenchLogSingleton() {

@@ -22,6 +22,25 @@
 //       the logr-log v1 binary columnar file (feature-id columns +
 //       vocabulary + Table-1 stats; see workload/binary_log.h). The
 //       default output is LOG.logrl.
+//   logr_cli split [--shards N] [--shard-policy hash|range]
+//                  [--out-dir DIR] [--name NAME] [LOG|LOG.logrl]
+//       Partitions a log's distinct templates into N binary .logrl
+//       shard files (same stable policies as compress --shards), ready
+//       for `distribute` or for per-node compression. Empty shards are
+//       dropped, so fewer than N files can appear.
+//   logr_cli distribute [--workers W] [--clusters K] [--method NAME]
+//                       [--spool DIR] [--retries R] [--timeout SEC]
+//                       [--no-resume] [--no-fallback] [--out FILE]
+//                       SHARD.logrl...|SHARD_DIR
+//       Scatter/gather compression over worker processes: each .logrl
+//       shard (listed explicitly or enumerated from a directory) is
+//       compressed by a separate worker process that mmap-reads it
+//       zero-copy and spools a summary into --spool; the coordinator
+//       retries crashed or hung workers (--retries per shard, --timeout
+//       watchdog), reuses valid spooled summaries on re-run (resume),
+//       and merges everything into one summary — bit-identical to
+//       `compress --shards` over the same split. The output is always
+//       a naive summary, like `merge`.
 //   logr_cli merge [--clusters K] [--out FILE] SUMMARY...
 //       Merges summary files written by compress (e.g. one per day or
 //       per shard) into one, reconciling down to K clusters by
@@ -55,12 +74,15 @@
 #include <string>
 #include <vector>
 
+#include "core/distributed.h"
 #include "core/encoder.h"
 #include "core/logr_compressor.h"
 #include "core/serialization.h"
+#include "core/sharded.h"
 #include "core/visualize.h"
 #include "data/pocketdata.h"
 #include "data/sql_log.h"
+#include "util/subprocess.h"
 #include "workload/binary_log.h"
 #include "workload/loader.h"
 
@@ -75,6 +97,13 @@ int Usage() {
                "[--shard-policy hash|range] [--out FILE] [LOG|LOG.logrl]\n"
                "       logr_cli convert [--name NAME] [--out FILE.logrl] "
                "[LOG]\n"
+               "       logr_cli split [--shards N] "
+               "[--shard-policy hash|range] [--out-dir DIR] [--name NAME] "
+               "[LOG|LOG.logrl]\n"
+               "       logr_cli distribute [--workers W] [--clusters K] "
+               "[--method NAME] [--spool DIR] [--retries R] "
+               "[--timeout SEC] [--no-resume] [--no-fallback] "
+               "[--out FILE] SHARD.logrl...|SHARD_DIR\n"
                "       logr_cli merge [--clusters K] [--out FILE] "
                "SUMMARY...\n"
                "       logr_cli info SUMMARY\n"
@@ -453,6 +482,250 @@ int RunMerge(int argc, char** argv) {
   return 0;
 }
 
+/// Loads LOG (text SQL or binary .logrl) into `log`/`binary`, binding
+/// `view` to whichever backs it. Shared by split. Returns 0 on
+/// success, the process exit code otherwise.
+int LoadAnyLog(const std::string& in_path, QueryLog* log,
+               MmapQueryLog* binary, LogView* view) {
+  if (!in_path.empty() && IsBinaryLogFile(in_path)) {
+    std::string error;
+    if (!MmapQueryLog::Open(in_path, binary, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    *view = LogView(*binary);
+    return 0;
+  }
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!in_path.empty()) {
+    file.open(in_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", in_path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+  LogLoader loader;
+  std::uint64_t lines = ReadTextLog(*in, &loader);
+  PrintFunnel(lines, loader.Summary("cli"));
+  *log = loader.TakeLog();
+  *view = LogView(*log);
+  return 0;
+}
+
+int RunSplit(int argc, char** argv) {
+  std::size_t shards = 4;
+  ShardPolicy shard_policy = ShardPolicy::kHashDistinct;
+  std::string out_dir = "shards";
+  std::string name = "cli";
+  std::string in_path;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      long long parsed;
+      if (!ParseCount(argv[++i], 1, &parsed)) {
+        std::fprintf(stderr, "--shards must be an integer >= 1\n");
+        return 2;
+      }
+      shards = static_cast<std::size_t>(parsed);
+    } else if (arg == "--shard-policy" && i + 1 < argc) {
+      if (!ParseShardPolicy(argv[++i], &shard_policy)) {
+        std::fprintf(stderr, "--shard-policy must be hash or range\n");
+        return 2;
+      }
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      name = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      in_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+
+  QueryLog log;
+  MmapQueryLog binary;
+  LogView view;
+  if (int rc = LoadAnyLog(in_path, &log, &binary, &view)) return rc;
+  if (view.NumDistinct() == 0) {
+    std::fprintf(stderr, "no usable queries\n");
+    return 1;
+  }
+
+  std::string dir_error;
+  if (!EnsureDirectory(out_dir, &dir_error)) {
+    std::fprintf(stderr, "%s\n", dir_error.c_str());
+    return 1;
+  }
+  const std::vector<std::vector<std::size_t>> parts =
+      ShardedCompressor::PartitionIndices(view, shards, shard_policy);
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    QueryLog sublog = view.MaterializeSubset(parts[s]);
+    DatasetSummary stats;
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "-s%03zu", s);
+    stats.name = name + suffix;
+    stats.num_queries = sublog.TotalQueries();
+    stats.num_distinct = sublog.NumDistinct();
+    stats.num_distinct_no_const = sublog.NumDistinct();
+    stats.max_multiplicity = sublog.MaxMultiplicity();
+    stats.num_features = sublog.NumFeatures();
+    stats.num_features_no_const = sublog.NumFeatures();
+    stats.avg_features_per_query = sublog.AvgFeaturesPerQuery();
+    char file_name[64];
+    std::snprintf(file_name, sizeof(file_name), "/shard-%03zu.logrl", s);
+    const std::string path = out_dir + file_name;
+    std::string error;
+    if (!BinaryLogWriter::WriteFile(path, sublog, stats, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu distinct, %llu queries)\n", path.c_str(),
+                sublog.NumDistinct(),
+                static_cast<unsigned long long>(sublog.TotalQueries()));
+  }
+  std::printf("split %zu distinct templates into %zu shards under %s — "
+              "compress them with `logr_cli distribute %s`\n",
+              view.NumDistinct(), parts.size(), out_dir.c_str(),
+              out_dir.c_str());
+  return 0;
+}
+
+int RunDistribute(int argc, char** argv) {
+  DistributedOptions opts;
+  opts.compression.num_clusters = 8;
+  opts.spool_dir = "spool";
+  std::string method = "kmeans";
+  std::string out_path = "distributed.logr";
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    long long parsed;
+    if (arg == "--workers" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], 1, &parsed)) {
+        std::fprintf(stderr, "--workers must be an integer >= 1\n");
+        return 2;
+      }
+      opts.num_workers = static_cast<std::size_t>(parsed);
+    } else if (arg == "--clusters" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], 1, &parsed)) {
+        std::fprintf(stderr, "--clusters must be an integer >= 1\n");
+        return 2;
+      }
+      opts.compression.num_clusters = static_cast<std::size_t>(parsed);
+    } else if (arg == "--method" && i + 1 < argc) {
+      method = argv[++i];
+    } else if (arg == "--spool" && i + 1 < argc) {
+      opts.spool_dir = argv[++i];
+    } else if (arg == "--retries" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], 0, &parsed)) {
+        std::fprintf(stderr, "--retries must be an integer >= 0\n");
+        return 2;
+      }
+      opts.max_retries = static_cast<int>(parsed);
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      if (!ParseCount(argv[++i], 1, &parsed)) {
+        std::fprintf(stderr, "--timeout must be an integer >= 1 (seconds)\n");
+        return 2;
+      }
+      opts.worker_timeout_seconds = static_cast<double>(parsed);
+    } else if (arg == "--no-resume") {
+      opts.reuse_spool = false;
+    } else if (arg == "--no-fallback") {
+      opts.inprocess_fallback = false;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      inputs.push_back(arg);
+    } else {
+      return Usage();
+    }
+  }
+  if (inputs.empty()) return Usage();
+  if (!ParseClusteringMethod(method, &opts.compression.method)) {
+    if (ClustererRegistry::Instance().Find(method) == nullptr) {
+      std::fprintf(stderr, "unknown method %s\n", method.c_str());
+      return 2;
+    }
+    opts.compression.backend = method;
+  }
+
+  // Positional arguments: .logrl shard files, or directories of them.
+  std::vector<std::string> shard_paths;
+  for (const std::string& input : inputs) {
+    if (IsBinaryLogFile(input)) {
+      shard_paths.push_back(input);
+      continue;
+    }
+    std::vector<std::string> listed;
+    std::string error;
+    if (!ListBinaryLogShards(input, &listed, &error) || listed.empty()) {
+      std::fprintf(stderr,
+                   "%s is neither a .logrl file nor a directory "
+                   "containing them\n",
+                   input.c_str());
+      return 2;
+    }
+    for (std::string& p : listed) shard_paths.push_back(std::move(p));
+  }
+
+  // Workers re-exec this binary in the hidden `worker` mode.
+  std::string self = CurrentExecutablePath();
+  if (self.empty()) self = argv[0];
+  opts.worker_command = {self};
+
+  DistributedResult result;
+  std::string error;
+  if (!CompressDistributed(shard_paths, opts, &result, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  for (const ShardReport& r : result.shards) {
+    const char* how = r.reused ? "reused spooled summary"
+                     : r.inprocess ? "compressed in-process (fallback)"
+                                   : "compressed by worker";
+    std::printf("  %s: %s (%d attempt%s%s)\n", r.shard_path.c_str(), how,
+                r.attempts, r.attempts == 1 ? "" : "s",
+                r.timed_out ? ", hit watchdog" : "");
+  }
+  const WorkloadModel& model = *result.summary.model;
+  std::printf("distributed %zu shards over %zu workers in %.2fs "
+              "(%zu spawned, %zu failed): %zu clusters, %llu queries, "
+              "error %.4f nats\n",
+              result.shards.size(), opts.num_workers, result.total_seconds,
+              result.workers_launched, result.workers_failed,
+              model.NumComponents(),
+              static_cast<unsigned long long>(model.LogSize()),
+              model.Error());
+  if (!WriteSummaryFile(out_path, result.summary.vocabulary, model,
+                        &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+/// Hidden subcommand: one scatter worker (spawned by `distribute`,
+/// never typed by hand — absent from Usage() on purpose).
+int RunWorker(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.push_back(argv[i]);
+  DistributedWorkerOptions opts;
+  std::string error;
+  if (!ParseWorkerArgv(args, &opts, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (!RunDistributedWorker(opts, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int RunInfo(int argc, char** argv) {
   if (argc < 3) return Usage();
   PersistedSummary s;
@@ -560,6 +833,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "compress") == 0) return RunCompress(argc, argv);
   if (std::strcmp(argv[1], "convert") == 0) return RunConvert(argc, argv);
+  if (std::strcmp(argv[1], "split") == 0) return RunSplit(argc, argv);
+  if (std::strcmp(argv[1], "distribute") == 0) {
+    return RunDistribute(argc, argv);
+  }
+  if (std::strcmp(argv[1], "worker") == 0) return RunWorker(argc, argv);
   if (std::strcmp(argv[1], "merge") == 0) return RunMerge(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "estimate") == 0) return RunEstimate(argc, argv);

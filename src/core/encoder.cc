@@ -130,7 +130,7 @@ class RefinedEncoder : public Encoder {
       const EncodeRequest& req) const override {
     const std::size_t budget =
         req.refine_patterns > 0 ? req.refine_patterns : kDefaultRefinePatterns;
-    return RefineMixture(log, std::move(mixture), budget);
+    return RefineMixture(log, std::move(mixture), budget, req.pool);
   }
 };
 
@@ -240,17 +240,32 @@ class PatternEncoder : public Encoder {
         MembersByComponent(assignment, req.k);
     const double total = static_cast<double>(log.TotalQueries());
 
-    std::vector<PatternMixtureModel::Component> components;
-    components.reserve(req.k);
-    for (std::size_t c = 0; c < req.k; ++c) {
+    // Component fits are independent (each mines and scales only its own
+    // sub-log), so they fan out across the request's pool into disjoint
+    // index-addressed slots — bit-identical for any thread count. The
+    // slots hold pointers because PatternEncoding has no empty state to
+    // pre-size a vector with.
+    std::vector<std::unique_ptr<PatternMixtureModel::Component>> fitted(
+        req.k);
+    auto fit_component = [&](std::size_t c) {
       // Per-component mining needs an owning sub-log either way; the
       // full log itself is never materialized.
       QueryLog sublog = log.MaterializeSubset(members[c]);
       const double weight =
           total > 0.0 ? static_cast<double>(sublog.TotalQueries()) / total
                       : 0.0;
-      components.emplace_back(
+      fitted[c] = std::make_unique<PatternMixtureModel::Component>(
           weight, PatternEncoding(sublog, SelectPatterns(sublog, budget)));
+    };
+    if (req.pool != nullptr && req.pool->NumThreads() > 1) {
+      req.pool->ParallelForCoarse(0, req.k, fit_component);
+    } else {
+      for (std::size_t c = 0; c < req.k; ++c) fit_component(c);
+    }
+    std::vector<PatternMixtureModel::Component> components;
+    components.reserve(req.k);
+    for (std::size_t c = 0; c < req.k; ++c) {
+      components.push_back(std::move(*fitted[c]));
     }
     return std::make_shared<PatternMixtureModel>(std::move(components),
                                                  log.TotalQueries());
@@ -368,25 +383,37 @@ std::vector<FeatureVec> RefinedMixtureModel::ComponentPatterns(
 // ----------------------------------------------------------- RefineMixture
 
 std::shared_ptr<const RefinedMixtureModel> RefineMixture(
-    const LogView& log, NaiveMixtureEncoding mixture, std::size_t budget) {
+    const LogView& log, NaiveMixtureEncoding mixture, std::size_t budget,
+    ThreadPool* pool) {
   std::vector<std::vector<FeatureVec>> retained(mixture.NumComponents());
   std::vector<double> errors(mixture.NumComponents(), 0.0);
-  for (std::size_t c = 0; c < mixture.NumComponents(); ++c) {
+  // Every component is an independent mine + rank + max-ent fit writing
+  // only its own retained[c] / errors[c] slot, so the loop fans out
+  // across the pool (coarse: one component is whole milliseconds of
+  // work) with bit-identical results for any thread count.
+  auto refine_component = [&](std::size_t c) {
     const MixtureComponent& comp = mixture.Component(c);
     const double naive_err = comp.encoding.ReproductionError();
     errors[c] = naive_err;
     if (comp.members.size() < 2 || naive_err <= 1e-12 || budget == 0) {
-      continue;
+      return;
     }
     QueryLog sublog = log.MaterializeSubset(comp.members);
     std::vector<FeatureVec> extra =
         SelectRefinementPatterns(sublog, comp.encoding, budget);
-    if (extra.empty()) continue;
+    if (extra.empty()) return;
     RefinedNaiveEncoding ref(sublog, std::move(extra));
     // Refinement with exact marginals can only tighten the max-ent model,
     // but guard against numerical jitter on near-zero errors.
     errors[c] = std::min(naive_err, ref.ReproductionError());
     retained[c] = ref.retained_patterns();
+  };
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    pool->ParallelForCoarse(0, mixture.NumComponents(), refine_component);
+  } else {
+    for (std::size_t c = 0; c < mixture.NumComponents(); ++c) {
+      refine_component(c);
+    }
   }
   return std::make_shared<RefinedMixtureModel>(
       std::move(mixture), std::move(retained), std::move(errors));

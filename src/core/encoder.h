@@ -250,8 +250,12 @@ std::string DefaultEncoderName();
 /// of `mixture` against `log` (Sec. 6.4) and returns the refined model.
 /// The shared implementation behind the "refined" encoder's Encode and
 /// WrapMixture; exposed for callers that already hold a naive mixture.
+/// Components are independent fits, so they run across `pool` (nullptr
+/// = serial) into disjoint per-component slots — bit-identical output
+/// for any thread count.
 std::shared_ptr<const RefinedMixtureModel> RefineMixture(
-    const LogView& log, NaiveMixtureEncoding mixture, std::size_t budget);
+    const LogView& log, NaiveMixtureEncoding mixture, std::size_t budget,
+    ThreadPool* pool = nullptr);
 
 /// Most patterns the refined encoder can retain for one component of an
 /// `n_features`-wide summary: the miner's candidate cap (256), further

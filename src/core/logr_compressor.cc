@@ -28,6 +28,19 @@ LogRSummary CompressToErrorTarget(const LogView& log, double error_target,
                                                     max_clusters);
 }
 
+std::vector<LogRSummary> CompressToErrorTargets(
+    const LogView& log, const std::vector<double>& error_targets,
+    std::size_t max_clusters, const LogROptions& opts) {
+  LOGR_CHECK_MSG(opts.num_shards <= 1,
+                 "num_shards > 1 is only supported by Compress");
+  LogROptions o = opts;
+  if (o.backend.empty()) {
+    o.backend = "hierarchical";  // same default as CompressToErrorTarget
+  }
+  return CompressionPipeline(log, o).RunErrorTargets(error_targets,
+                                                     max_clusters);
+}
+
 LogRSummary CompressAdaptive(const LogView& log, std::size_t num_clusters,
                              const LogROptions& opts) {
   LOGR_CHECK_MSG(opts.num_shards <= 1,

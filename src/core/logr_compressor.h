@@ -41,6 +41,17 @@ LogRSummary CompressToErrorTarget(const LogView& log, double error_target,
                                   std::size_t max_clusters,
                                   const LogROptions& opts);
 
+/// CompressToErrorTarget for several targets at once, over one pipeline:
+/// the backend is fitted once and the distinct vectors are packed once
+/// (LogRSummary::pool_builds stays 1 for every returned summary), so an
+/// error/verbosity trade-off sweep costs one fit plus cheap re-cuts
+/// instead of targets.size() full compressions. Summaries are returned
+/// in target order; each meets its target exactly as the single-target
+/// entry point would.
+std::vector<LogRSummary> CompressToErrorTargets(
+    const LogView& log, const std::vector<double>& error_targets,
+    std::size_t max_clusters, const LogROptions& opts);
+
 /// Adaptive top-down refinement: starting from one cluster, repeatedly
 /// bisect (configured backend, k = 2) the component contributing the most
 /// weighted Reproduction Error, until `num_clusters` components exist or

@@ -162,13 +162,19 @@ LogRSummary CompressionPipeline::RunFixedK() {
   return EncodeStage(ClusterStage(k), k);
 }
 
+ClusterModel& CompressionPipeline::FittedModel() {
+  if (!fitted_) {
+    Stopwatch fit_timer;
+    fitted_ = ctx_.clusterer->Fit(ctx_.vecs, ctx_.weights, ctx_.Request(1));
+    cluster_seconds_ += fit_timer.ElapsedSeconds();
+  }
+  return *fitted_;
+}
+
 LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
                                                 std::size_t max_clusters) {
   max_clusters = std::min(max_clusters, ctx_.log.NumDistinct());
-  Stopwatch fit_timer;
-  std::unique_ptr<ClusterModel> model =
-      ctx_.clusterer->Fit(ctx_.vecs, ctx_.weights, ctx_.Request(1));
-  cluster_seconds_ += fit_timer.ElapsedSeconds();
+  ClusterModel* model = &FittedModel();
 
   // The K search measures the naive-mixture Error (the historic target
   // semantics); the winning partition is encoded once at the end with
@@ -246,6 +252,18 @@ LogRSummary CompressionPipeline::RunErrorTarget(double error_target,
     } else {
       lo = mid;
     }
+  }
+  return out;
+}
+
+std::vector<LogRSummary> CompressionPipeline::RunErrorTargets(
+    const std::vector<double>& targets, std::size_t max_clusters) {
+  std::vector<LogRSummary> out;
+  out.reserve(targets.size());
+  // Each search re-cuts the one cached fit; stage timers accumulate, so
+  // a summary's cluster_seconds covers the sweep up to and including it.
+  for (double target : targets) {
+    out.push_back(RunErrorTarget(target, max_clusters));
   }
   return out;
 }

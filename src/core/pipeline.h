@@ -189,6 +189,13 @@ class CompressionPipeline {
   /// other backends re-cluster per K.
   LogRSummary RunErrorTarget(double error_target, std::size_t max_clusters);
 
+  /// CompressToErrorTargets: RunErrorTarget for each target in order,
+  /// over ONE fitted model and ONE packed pool — a multi-target sweep
+  /// packs and fits once instead of once per target (pool_builds stays
+  /// 1 for every summary when the universe fits the pool).
+  std::vector<LogRSummary> RunErrorTargets(const std::vector<double>& targets,
+                                           std::size_t max_clusters);
+
   /// CompressAdaptive: top-down bisection of the worst component until
   /// `num_clusters` components exist or all are error-free.
   LogRSummary RunAdaptive(std::size_t num_clusters);
@@ -196,7 +203,13 @@ class CompressionPipeline {
   PipelineContext& context() { return ctx_; }
 
  private:
+  /// The fitted backend model, built on first use and cached so every
+  /// error-target search (and every target of a sweep) re-cuts the same
+  /// fit — sharing the context's packed pool through Request().
+  ClusterModel& FittedModel();
+
   PipelineContext ctx_;
+  std::unique_ptr<ClusterModel> fitted_;
   double cluster_seconds_ = 0.0;
   double pack_seconds_ = 0.0;
 };

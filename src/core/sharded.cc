@@ -83,13 +83,13 @@ LogRSummary ShardedCompressor::Run() {
       PartitionIndices(log, opts_.num_shards, opts_.shard_policy);
   const std::size_t S = shards.size();
 
-  // Subset building is cheap relative to clustering; keep it serial so
-  // the shard logs exist before the pool fans out. Each shard owns its
-  // sublog (materialized straight off the view, mmap or heap alike).
-  std::vector<QueryLog> shard_logs;
-  shard_logs.reserve(S);
+  // Each shard pipeline reads through a zero-copy subview of the input
+  // (mmap or heap alike) — no per-shard QueryLog materialization. The
+  // subviews borrow `shards`, which outlives the pipeline loop below.
+  std::vector<LogView> shard_views;
+  shard_views.reserve(S);
   for (const std::vector<std::size_t>& indices : shards) {
-    shard_logs.push_back(log.MaterializeSubset(indices));
+    shard_views.push_back(log.Subview(indices));
   }
 
   // The merge machinery is exact only for the naive mixture family:
@@ -118,12 +118,12 @@ LogRSummary ShardedCompressor::Run() {
   ThreadPool* pool = opts_.pool ? opts_.pool : ThreadPool::Shared();
   std::vector<LogRSummary> results(S);
   pool->ParallelForCoarse(0, S, [&](std::size_t s) {
-    results[s] = CompressionPipeline(shard_logs[s], shard_opts).RunFixedK();
+    results[s] = CompressionPipeline(shard_views[s], shard_opts).RunFixedK();
   });
 
   // Pool the per-shard mixtures with members remapped to global distinct
-  // indices. MaterializeSubset() preserves index order, so shard-local
-  // distinct i is global shards[s][i].
+  // indices. Subview() preserves index order, so shard-local distinct i
+  // is global shards[s][i].
   double shard_cluster_seconds = 0.0;
   std::vector<NaiveMixtureEncoding> parts;
   parts.reserve(S);

@@ -1,0 +1,126 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if !defined(_WIN32)
+#define LOGR_HAS_SUBPROCESS 1
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace logr {
+
+#if defined(LOGR_HAS_SUBPROCESS)
+
+bool SubprocessSupported() { return true; }
+
+long SpawnProcess(const std::vector<std::string>& argv, std::string* error) {
+  if (argv.empty()) {
+    if (error) *error = "SpawnProcess: empty argv";
+    return -1;
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error) *error = std::string("fork: ") + std::strerror(errno);
+    return -1;
+  }
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // exec failed: exit through _exit so no parent-owned atexit handlers
+    // or stream flushes run twice. 127 mirrors the shell convention.
+    ::_exit(127);
+  }
+  return static_cast<long>(pid);
+}
+
+long ForkProcess(const std::function<int()>& child_main, std::string* error) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error) *error = std::string("fork: ") + std::strerror(errno);
+    return -1;
+  }
+  if (pid == 0) {
+    ::_exit(child_main());
+  }
+  return static_cast<long>(pid);
+}
+
+namespace {
+
+void FillStatus(int raw, ProcessStatus* status) {
+  *status = ProcessStatus();
+  if (WIFEXITED(raw)) {
+    status->exited = true;
+    status->exit_code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status->signaled = true;
+    status->term_signal = WTERMSIG(raw);
+  }
+}
+
+}  // namespace
+
+bool TryWaitProcess(long pid, ProcessStatus* status) {
+  int raw = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid), &raw, WNOHANG);
+  if (r != static_cast<pid_t>(pid)) return false;
+  FillStatus(raw, status);
+  return true;
+}
+
+bool WaitProcess(long pid, ProcessStatus* status) {
+  int raw = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(static_cast<pid_t>(pid), &raw, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r != static_cast<pid_t>(pid)) return false;
+  FillStatus(raw, status);
+  return true;
+}
+
+void KillProcess(long pid) {
+  ::kill(static_cast<pid_t>(pid), SIGKILL);
+  ProcessStatus ignored;
+  WaitProcess(pid, &ignored);
+}
+
+std::string CurrentExecutablePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+#else  // !LOGR_HAS_SUBPROCESS
+
+bool SubprocessSupported() { return false; }
+
+long SpawnProcess(const std::vector<std::string>&, std::string* error) {
+  if (error) *error = "subprocesses are not supported on this platform";
+  return -1;
+}
+
+long ForkProcess(const std::function<int()>&, std::string* error) {
+  if (error) *error = "subprocesses are not supported on this platform";
+  return -1;
+}
+
+bool TryWaitProcess(long, ProcessStatus*) { return false; }
+bool WaitProcess(long, ProcessStatus*) { return false; }
+void KillProcess(long) {}
+std::string CurrentExecutablePath() { return ""; }
+
+#endif  // LOGR_HAS_SUBPROCESS
+
+}  // namespace logr

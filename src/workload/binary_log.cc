@@ -15,6 +15,7 @@
 
 #if !defined(_WIN32)
 #define LOGR_BINARY_LOG_HAS_MMAP 1
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -730,6 +731,38 @@ bool IsBinaryLogFile(const std::string& path) {
   in.read(magic, sizeof(magic));
   return in.gcount() == sizeof(magic) &&
          std::memcmp(magic, kBinaryLogMagic, sizeof(magic)) == 0;
+}
+
+bool ListBinaryLogShards(const std::string& dir,
+                         std::vector<std::string>* paths,
+                         std::string* error) {
+  paths->clear();
+#if defined(LOGR_BINARY_LOG_HAS_MMAP)
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (error) *error = "cannot read directory " + dir;
+    return false;
+  }
+  const std::string suffix = ".logrl";
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string path =
+        dir.empty() || dir.back() == '/' ? dir + name : dir + "/" + name;
+    if (IsBinaryLogFile(path)) paths->push_back(path);
+  }
+  ::closedir(d);
+  std::sort(paths->begin(), paths->end());
+  return true;
+#else
+  (void)dir;
+  if (error) *error = "directory enumeration is not supported here";
+  return false;
+#endif
 }
 
 bool SameQueryLog(const QueryLog& a, const QueryLog& b, std::string* why) {

@@ -203,6 +203,17 @@ bool ReadBinaryLogFile(const std::string& path, LoadedBinaryLog* out,
 /// accept binary logs wherever text logs are accepted).
 bool IsBinaryLogFile(const std::string& path);
 
+/// Enumerates the binary log shards in a directory: every regular file
+/// whose name ends in ".logrl" and whose leading bytes carry the
+/// format magic, sorted by name so the shard order is stable across
+/// filesystems. Returns false (and fills `error`) when the directory
+/// cannot be read; an empty directory yields an empty list and true.
+/// The coordinator (`logr_cli distribute DIR`) scatters exactly this
+/// list.
+bool ListBinaryLogShards(const std::string& dir,
+                         std::vector<std::string>* paths,
+                         std::string* error);
+
 /// Field-by-field equality, with a human-readable mismatch report.
 bool SameQueryLog(const QueryLog& a, const QueryLog& b, std::string* why);
 bool SameDatasetSummary(const DatasetSummary& a, const DatasetSummary& b,

@@ -7,6 +7,12 @@
 // Compress run straight off an mmap'd .logrl without Materialize()
 // copying every vector onto the heap first. The view borrows; the
 // backing log must outlive it.
+//
+// A view can also window a *subset* of the backing log's distinct
+// vectors (Subview): row i of the subview is row indices[i] of the
+// base. Sharded compression hands each shard such a subview instead of
+// materializing a per-shard QueryLog copy — same vocabulary, same
+// feature universe as QueryLog::Subset would report, zero copies.
 #ifndef LOGR_WORKLOAD_LOG_VIEW_H_
 #define LOGR_WORKLOAD_LOG_VIEW_H_
 
@@ -33,37 +39,43 @@ class LogView {
   LogView(const MmapQueryLog& log) : mmap_(&log) {}     // NOLINT(runtime/explicit)
 
   std::size_t NumDistinct() const {
+    if (subset_) return subset_->size();
     return log_ ? log_->NumDistinct() : mmap_->NumDistinct();
   }
   std::uint64_t TotalQueries() const {
+    if (subset_) return subset_total_;
     return log_ ? log_->TotalQueries() : mmap_->TotalQueries();
   }
   std::size_t NumFeatures() const {
+    if (subset_) return subset_num_features_;
     return log_ ? log_->NumFeatures() : mmap_->NumFeatures();
   }
   std::uint64_t Multiplicity(std::size_t i) const {
+    i = Map(i);
     return log_ ? log_->Multiplicity(i) : mmap_->Multiplicity(i);
   }
   std::uint64_t MaxMultiplicity() const {
+    if (subset_) return subset_max_multiplicity_;
     return log_ ? log_->MaxMultiplicity() : mmap_->MaxMultiplicity();
   }
 
   /// Number of feature ids in distinct vector `i`.
   std::size_t VectorSize(std::size_t i) const {
+    i = Map(i);
     return log_ ? log_->Vector(i).ids.size() : mmap_->VectorSize(i);
   }
   /// Span over vector `i`'s sorted feature ids — a borrowed pointer
   /// into the backing log's storage (heap vector or mapped column).
   const FeatureId* VectorIds(std::size_t i) const {
+    i = Map(i);
     return log_ ? log_->Vector(i).ids.data() : mmap_->VectorIds(i);
   }
   /// Owning copy of vector `i`.
   FeatureVec VectorAt(std::size_t i) const;
 
-  /// Marginal p(Q ⊇ b | L), delegated to the backing log.
-  double Marginal(const FeatureVec& b) const {
-    return log_ ? log_->Marginal(b) : mmap_->Marginal(b);
-  }
+  /// Marginal p(Q ⊇ b | L) — over the windowed rows for a subview,
+  /// otherwise delegated to the backing log.
+  double Marginal(const FeatureVec& b) const;
 
   const Vocabulary& vocabulary() const {
     return log_ ? log_->vocabulary() : mmap_->vocabulary();
@@ -76,17 +88,43 @@ class LogView {
   /// vocabulary copy), so both paths produce identical sub-logs.
   QueryLog MaterializeSubset(const std::vector<std::size_t>& indices) const;
 
-  /// The backing QueryLog, or nullptr for an mmap-backed view. Escape
-  /// hatch for paths that genuinely need owning heap storage.
-  const QueryLog* AsQueryLog() const { return log_; }
+  /// Non-owning window over a subset of this view's distinct vectors:
+  /// row i of the subview is row indices[i] of this view. The subview
+  /// reports the same vocabulary and the feature universe QueryLog::
+  /// Subset would (max of the vocabulary size and the windowed rows'
+  /// largest id + 1), with totals computed once here — so a pipeline
+  /// run over the subview is bit-identical to one over the materialized
+  /// subset. Borrows `indices` alongside the backing log; both must
+  /// outlive the subview and every copy of it. Subviews do not nest.
+  LogView Subview(const std::vector<std::size_t>& indices) const;
+
+  /// True when this view windows a subset of its backing log.
+  bool IsSubview() const { return subset_ != nullptr; }
+
+  /// The backing QueryLog, or nullptr for an mmap-backed view or a
+  /// subview (whose rows are not the backing log's). Escape hatch for
+  /// paths that genuinely need owning heap storage.
+  const QueryLog* AsQueryLog() const { return subset_ ? nullptr : log_; }
 
   /// Packs the view's vectors into a PackedVecPool straight from the
   /// id spans — no intermediate FeatureVec copies.
   PackedVecPool Pack(bool build_columns = true) const;
 
  private:
+  /// Base row index behind subview row `i` (identity for full views).
+  std::size_t Map(std::size_t i) const {
+    return subset_ ? (*subset_)[i] : i;
+  }
+
   const QueryLog* log_ = nullptr;
   const MmapQueryLog* mmap_ = nullptr;
+  /// Borrowed subset window (null = the whole backing log), plus the
+  /// aggregate columns cached at Subview() time so the hot accessors
+  /// stay O(1).
+  const std::vector<std::size_t>* subset_ = nullptr;
+  std::uint64_t subset_total_ = 0;
+  std::uint64_t subset_max_multiplicity_ = 0;
+  std::size_t subset_num_features_ = 0;
 };
 
 }  // namespace logr

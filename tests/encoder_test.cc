@@ -231,6 +231,74 @@ TEST(EncoderTest, RefinedErrorAtMostNaiveOnPaperShapedWorkloads) {
   }
 }
 
+TEST(EncoderTest, RefinedEncoderParallelBitIdenticalToSerial) {
+  // Per-component pattern fits run across the pool into disjoint
+  // slots, so a wide pool must reproduce the serial refinement to the
+  // bit — same patterns, same refined errors, same bytes on disk.
+  QueryLog log = SmallBankLog();
+  auto run = [&](ThreadPool* pool) {
+    LogROptions opts;
+    opts.num_clusters = 5;
+    opts.seed = 3;
+    opts.encoder = "refined";
+    opts.refine_patterns = 4;
+    opts.pool = pool;
+    return Compress(log, opts);
+  };
+  ThreadPool serial(1);
+  ThreadPool wide(6);
+  LogRSummary a = run(&serial);
+  LogRSummary b = run(&wide);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.Model().Error(), b.Model().Error());
+  std::ostringstream bytes_a, bytes_b;
+  std::string error;
+  ASSERT_TRUE(
+      WriteSummary(log.vocabulary(), a.Model(), &bytes_a, &error))
+      << error;
+  ASSERT_TRUE(
+      WriteSummary(log.vocabulary(), b.Model(), &bytes_b, &error))
+      << error;
+  EXPECT_EQ(bytes_a.str(), bytes_b.str());
+}
+
+TEST(EncoderTest, PatternEncoderParallelBitIdenticalToSerial) {
+  // Pattern models do not serialize, so compare through the facade:
+  // every per-component statistic and a batch of estimates must match
+  // exactly between a serial and a wide-pool fit.
+  QueryLog log = GroupedLog(4, 10, 91);
+  auto run = [&](ThreadPool* pool) {
+    LogROptions opts;
+    opts.num_clusters = 3;
+    opts.seed = 7;
+    opts.encoder = "pattern";
+    opts.pattern_budget = 4;
+    opts.pool = pool;
+    return Compress(log, opts);
+  };
+  ThreadPool serial(1);
+  ThreadPool wide(6);
+  LogRSummary a = run(&serial);
+  LogRSummary b = run(&wide);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.Model().Error(), b.Model().Error());
+  EXPECT_EQ(a.Model().TotalVerbosity(), b.Model().TotalVerbosity());
+  ASSERT_EQ(a.Model().NumComponents(), b.Model().NumComponents());
+  for (std::size_t c = 0; c < a.Model().NumComponents(); ++c) {
+    EXPECT_EQ(a.Model().ComponentWeight(c), b.Model().ComponentWeight(c));
+    EXPECT_EQ(a.Model().ComponentError(c), b.Model().ComponentError(c));
+    EXPECT_EQ(a.Model().ComponentVerbosity(c),
+              b.Model().ComponentVerbosity(c));
+    EXPECT_EQ(a.Model().ComponentFeatures(c), b.Model().ComponentFeatures(c));
+  }
+  for (std::size_t i = 0; i < 10 && i < log.NumDistinct(); ++i) {
+    const FeatureVec& probe = log.Vector(i);
+    EXPECT_EQ(a.Model().EstimateMarginal(probe),
+              b.Model().EstimateMarginal(probe))
+        << i;
+  }
+}
+
 TEST(EncoderTest, PatternEncoderCapsPerComponentBudget) {
   QueryLog log = GroupedLog(3, 12, 91);
   LogROptions opts;

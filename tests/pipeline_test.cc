@@ -280,6 +280,37 @@ TEST(PipelineTest, RuntimeRegisteredBackendWorksEndToEnd) {
   EXPECT_LE(adaptive.Model().NumComponents(), 4u);
 }
 
+TEST(PipelineTest, ErrorTargetSweepFitsAndPacksOnce) {
+  QueryLog log = GroupedLog(6, 10, 77);
+  LogROptions opts;
+  opts.seed = 11;
+  const std::vector<double> targets = {2.0, 1.0, 0.25};
+  const std::vector<LogRSummary> sweep =
+      CompressToErrorTargets(log, targets, 32, opts);
+  ASSERT_EQ(sweep.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    // The whole sweep shares one pipeline: the distinct vectors are
+    // packed exactly once and the backend fitted once, so every
+    // summary observes a single pool build — the zero-copy contract.
+    EXPECT_EQ(sweep[i].pool_builds, 1u) << "target " << targets[i];
+    // Each target's result must be bit-identical to the single-target
+    // entry point — the sweep is a cost optimization, not a new mode.
+    const LogRSummary single =
+        CompressToErrorTarget(log, targets[i], 32, opts);
+    EXPECT_EQ(sweep[i].assignment, single.assignment)
+        << "target " << targets[i];
+    EXPECT_EQ(sweep[i].Model().Error(), single.Model().Error())
+        << "target " << targets[i];
+    EXPECT_EQ(sweep[i].Model().NumComponents(),
+              single.Model().NumComponents())
+        << "target " << targets[i];
+    // A target is met unless the search ran into the cluster cap.
+    if (sweep[i].Model().NumComponents() < 32) {
+      EXPECT_LE(sweep[i].Model().Error(), targets[i] + 1e-9);
+    }
+  }
+}
+
 TEST(PipelineTest, ErrorTargetHonorsExplicitBackend) {
   QueryLog log = GroupedLog(4, 6, 19);
   LogROptions opts;
