@@ -169,11 +169,16 @@ std::vector<FeatureVec> ApplyFeatureCap(const std::vector<FeatureVec>& rows,
   }
   std::vector<std::pair<double, FeatureId>> scored;
   scored.reserve(mass.size());
+  // lint:allow no-unordered-iteration (order erased by the total sort below)
   for (const auto& [f, m] : mass) {
     scored.emplace_back(BinaryEntropy(m / total), f);
   }
-  std::sort(scored.begin(), scored.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+  // Entropy descending, feature id ascending on ties: without the id
+  // tie-break, equal-mass features at the cap boundary were kept or
+  // dropped by unordered_map iteration order.
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
   if (scored.size() > cap) scored.resize(cap);
   std::vector<FeatureId> keep;
   keep.reserve(scored.size());
