@@ -192,8 +192,11 @@ double FactoredMaxEnt::BlockMarginal(const Block& block,
 
 double FactoredMaxEnt::MarginalOf(const FeatureVec& b) const {
   // Partition b's features into independent features and per-block masks.
+  // The masks are multiplied into `prob` below, and FP multiplication
+  // rounds differently per order — std::map keeps the factor order
+  // (ascending block index) identical across platforms/hash seeds.
   double prob = 1.0;
-  std::unordered_map<std::size_t, std::uint32_t> block_masks;
+  std::map<std::size_t, std::uint32_t> block_masks;
   for (FeatureId f : b.ids) {
     auto blk = block_of_.find(f);
     if (blk == block_of_.end()) {
