@@ -1,0 +1,80 @@
+// Fallback driver for the fuzz harnesses: replays corpus files through
+// LLVMFuzzerTestOneInput, one process for all of them, so the checked-in
+// seed corpora run as plain ctest regression tests on toolchains
+// without libFuzzer (GCC). Arguments are corpus files or directories
+// (recursed one level, hidden files skipped); with no arguments it
+// reads one input from stdin, which is also the crash-reproduction
+// workflow: `fuzz_x_driver < crash-file`.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "driver: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  std::fprintf(stderr, "driver: %s (%zu bytes)\n", path.c_str(),
+               bytes.size());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (entry.path().filename().string().rfind(".", 0) == 0) continue;
+        files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(arg.string());
+    }
+  }
+
+  if (files.empty() && argc <= 1) {
+    const std::string bytes((std::istreambuf_iterator<char>(std::cin)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    std::fprintf(stderr, "driver: 1 stdin input OK\n");
+    return 0;
+  }
+
+  // Deterministic replay order regardless of directory enumeration.
+  std::sort(files.begin(), files.end());
+  std::size_t ran = 0;
+  for (const std::string& f : files) {
+    if (RunFile(f)) ++ran;
+  }
+  if (ran != files.size() || ran == 0) {
+    std::fprintf(stderr, "driver: ran %zu of %zu inputs\n", ran,
+                 files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "driver: %zu inputs OK\n", ran);
+  return 0;
+}

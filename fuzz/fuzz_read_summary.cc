@@ -1,0 +1,56 @@
+// Fuzz harness for the summary text parser (core/serialization.h).
+//
+// ReadSummary consumes whole files that may come from other machines
+// (offline merge pulls per-day summaries off shared storage), so it
+// must reject arbitrary bytes loudly — never crash, never accept a
+// summary whose model then misbehaves. On accepted inputs the harness
+// also exercises the loaded WorkloadModel and round-trips it through
+// WriteSummary, so "parses but produces a poisoned model" counts as a
+// finding too.
+#include <cstddef>
+#include <cstdint>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "core/serialization.h"
+#include "util/check.h"
+#include "workload/feature_vec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(text);
+  logr::PersistedSummary summary;
+  std::string error;
+  if (!logr::ReadSummary(&in, &summary, &error)) {
+    // A rejected input must say why.
+    LOGR_CHECK(!error.empty());
+    return 0;
+  }
+
+  // Accepted input: the facade contract must hold.
+  LOGR_CHECK(summary.model != nullptr);
+  const logr::WorkloadModel& model = *summary.model;
+  LOGR_CHECK(std::isfinite(model.Error()));
+  LOGR_CHECK(std::isfinite(model.BaseError()));
+  const std::size_t k = model.NumComponents();
+  for (std::size_t i = 0; i < k; ++i) {
+    LOGR_CHECK(std::isfinite(model.ComponentError(i)));
+    (void)model.ComponentLogSize(i);
+  }
+  logr::FeatureVec probe;
+  if (summary.vocabulary.size() > 0) probe.ids.push_back(0);
+  const double marginal = model.EstimateMarginal(probe);
+  LOGR_CHECK(std::isfinite(marginal));
+
+  // Round-trip: what ReadSummary accepted, WriteSummary must be able to
+  // persist, and the rewrite must load again.
+  std::ostringstream out;
+  if (logr::WriteSummary(summary.vocabulary, model, &out, &error)) {
+    std::istringstream in2(out.str());
+    logr::PersistedSummary reparsed;
+    LOGR_CHECK(logr::ReadSummary(&in2, &reparsed, &error));
+  }
+  return 0;
+}

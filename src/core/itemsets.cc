@@ -25,6 +25,8 @@ std::vector<FrequentItemset> MineFrequentItemsets(
     for (FeatureId f : rows[i].ids) single[f] += w[i];
   }
   std::vector<FrequentItemset> frontier;
+  // Order is erased by the sort below (unique on ids[0]).
+  // lint:allow no-unordered-iteration (sorted below)
   for (const auto& [f, mass] : single) {
     double support = mass / total;
     if (support >= opts.min_support) {

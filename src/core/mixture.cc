@@ -349,6 +349,7 @@ MixtureComponent NaiveMixtureEncoding::MergeComponents(
   }
   std::vector<FeatureId> features;
   features.reserve(marginal.size());
+  // lint:allow no-unordered-iteration (keys only, sorted on the next line)
   for (const auto& [f, p] : marginal) features.push_back(f);
   std::sort(features.begin(), features.end());
   std::vector<double> marginals;

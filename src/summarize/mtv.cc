@@ -47,6 +47,8 @@ MtvSummary RunMtv(const std::vector<FeatureVec>& rows,
   }
   std::vector<std::pair<FeatureId, double>> singletons;
   singletons.reserve(margin.size());
+  // Order is erased by the unique-id sort below.
+  // lint:allow no-unordered-iteration (sorted below)
   for (const auto& [f, mass] : margin) {
     singletons.emplace_back(f, mass / total);
   }

@@ -547,5 +547,59 @@ TEST_F(BinaryLogCorruptionTest, FuzzGarbageWithMagicNeverCrashes) {
   }
 }
 
+// Named regression cases from the PR-8 fuzz night: structure-aware
+// mutants of the checked-in golden shard with the payload checksum
+// *restamped* after mutation, so they sail past the checksum gate and
+// land on the deep structural validators. The corpus driver
+// (fuzz_binary_log_corpus) only proves these never crash; this test
+// pins the stronger contract that each is rejected with a reason — if
+// a validator regresses into accepting one, this fails before the
+// fuzzers ever run. Files live in fuzz/corpus/binary_log/.
+class FuzzNightRegressionTest : public ::testing::Test {
+ protected:
+  static std::string ReadCorpusFile(const std::string& name) {
+    const std::string path =
+        std::string(LOGR_FUZZ_CORPUS_DIR) + "/binary_log/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "missing corpus file " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  static bool Rejected(const std::string& bytes, std::string* error) {
+    MmapQueryLog log;
+    return !MmapQueryLog::OpenBuffer(bytes.data(), bytes.size(), &log, error);
+  }
+};
+
+TEST_F(FuzzNightRegressionTest, GoldenSeedStillLoads) {
+  const std::string bytes = ReadCorpusFile("golden.logrl");
+  MmapQueryLog log;
+  std::string error;
+  ASSERT_TRUE(MmapQueryLog::OpenBuffer(bytes.data(), bytes.size(), &log,
+                                       &error))
+      << error;
+  EXPECT_EQ(log.NumDistinct(), 4u);
+}
+
+TEST_F(FuzzNightRegressionTest, RestampedMutantsAllRejectedWithReason) {
+  const char* cases[] = {
+      "huge_num_distinct.logrl",  // num_distinct=2^61: offset table
+                                  // byte-count must not overflow
+      "ids_off_in_header.logrl",  // ids section aliasing the header
+      "huge_num_ids.logrl",       // num_ids inflated past its section
+      "vocab_size_wrap.logrl",    // vocab_size=2^64-1: off+size wraps
+      "zero_count.logrl",         // zeroed multiplicity column
+  };
+  for (const char* name : cases) {
+    const std::string bytes = ReadCorpusFile(name);
+    ASSERT_FALSE(bytes.empty()) << name;
+    std::string error;
+    EXPECT_TRUE(Rejected(bytes, &error)) << name << " was accepted";
+    EXPECT_FALSE(error.empty()) << name << " rejected without a reason";
+  }
+}
+
 }  // namespace
 }  // namespace logr
