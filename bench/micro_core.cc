@@ -6,8 +6,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "cluster/distance.h"
@@ -17,10 +21,14 @@
 #include "core/distributed.h"
 #include "core/logr_compressor.h"
 #include "core/mixture.h"
+#include "core/serialization.h"
 #include "core/sharded.h"
 #include "core/streaming.h"
 #include "core/naive_encoding.h"
 #include "maxent/deviation.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/summary_registry.h"
 #include "sql/parser.h"
 #include "util/check.h"
 #include "workload/binary_log.h"
@@ -597,6 +605,114 @@ void BM_EncoderEstimateCount(benchmark::State& state, const char* encoder) {
 BENCHMARK_CAPTURE(BM_EncoderEstimateCount, naive, "naive");
 BENCHMARK_CAPTURE(BM_EncoderEstimateCount, refined, "refined");
 BENCHMARK_CAPTURE(BM_EncoderEstimateCount, pattern, "pattern");
+
+/// A live serve daemon over a one-summary directory, bound to a Unix
+/// socket, started once per process. The watch thread is disabled so
+/// the benchmark isolates the protocol round-trip cost.
+struct ServeBench {
+  SummaryRegistry* registry = nullptr;
+  ServeDaemon* daemon = nullptr;
+  std::string endpoint;
+  std::string request;  ///< the estimate line every client issues
+};
+
+const ServeBench& ServeBenchSingleton() {
+  static const ServeBench* kServe = [] {
+    const QueryLog& log = PocketLogSingleton();
+    const std::string dir =
+        "/tmp/logr_micro_serve." + std::to_string(::getpid());
+    std::string error;
+    LOGR_CHECK_MSG(EnsureDirectory(dir, &error), error.c_str());
+    LogROptions opts;
+    opts.num_clusters = 8;
+    opts.n_init = 1;
+    LogRSummary s = Compress(log, opts);
+    LOGR_CHECK_MSG(WriteSummaryFile(dir + "/pocket.logr", log.vocabulary(),
+                                    s.Model(), &error),
+                   error.c_str());
+    auto* bench = new ServeBench();
+    bench->registry = new SummaryRegistry(dir);
+    bench->daemon = new ServeDaemon(bench->registry);
+    ServeOptions sopts;
+    sopts.listen = "unix:" + dir + "/serve.sock";
+    sopts.rescan_interval_ms = 0;
+    LOGR_CHECK_MSG(bench->daemon->Start(sopts, &error), error.c_str());
+    bench->endpoint = bench->daemon->endpoint();
+    // A two-feature conjunctive predicate from a real template, by id —
+    // the shape `logr_cli query ... estimate` sends.
+    const FeatureVec& vec = log.Vector(0);
+    bench->request = "estimate pocket " + std::to_string(vec.ids[0]) + "," +
+                     std::to_string(vec.ids[1]);
+    return bench;
+  }();
+  return *kServe;
+}
+
+void BM_ServeEstimate(benchmark::State& state) {
+  // End-to-end served-estimate latency: a fixed batch of requests per
+  // iteration, spread across Arg persistent client connections, each
+  // request a full write/parse/estimate/format/read round-trip over the
+  // Unix socket. p50/p99 are per-request microseconds from the last
+  // iteration; qps is aggregate over real time.
+  const ServeBench& serve = ServeBenchSingleton();
+  const std::size_t num_clients = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRequestsPerIter = 2048;
+  const std::size_t per_client = kRequestsPerIter / num_clients;
+  std::int64_t total_requests = 0;
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ServeClient> clients(num_clients);
+    for (ServeClient& client : clients) {
+      std::string error;
+      LOGR_CHECK_MSG(client.Connect(serve.endpoint, &error), error.c_str());
+    }
+    std::vector<std::vector<double>> per_thread(num_clients);
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    threads.reserve(num_clients);
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      threads.emplace_back([&, c] {
+        per_thread[c].reserve(per_client);
+        for (std::size_t r = 0; r < per_client; ++r) {
+          const auto start = std::chrono::steady_clock::now();
+          std::string response, error;
+          LOGR_CHECK_MSG(
+              clients[c].Request(serve.request, &response, &error),
+              error.c_str());
+          const auto stop = std::chrono::steady_clock::now();
+          LOGR_CHECK_MSG(response.compare(0, 3, "ok ") == 0,
+                         response.c_str());
+          per_thread[c].push_back(
+              std::chrono::duration<double, std::micro>(stop - start)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    latencies_us.clear();
+    for (const std::vector<double>& lat : per_thread) {
+      latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+    }
+    total_requests += static_cast<std::int64_t>(latencies_us.size());
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  if (!latencies_us.empty()) {
+    state.counters["p50_us"] = latencies_us[latencies_us.size() / 2];
+    state.counters["p99_us"] =
+        latencies_us[latencies_us.size() * 99 / 100];
+  }
+  state.counters["clients"] = static_cast<double>(num_clients);
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+}
+// Connections are answered by daemon-side threads, so only real time
+// sees the concurrency.
+BENCHMARK(BM_ServeEstimate)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StreamingAdd(benchmark::State& state) {
   // Throughput of routing one query into a live streaming summary

@@ -54,9 +54,18 @@
 //       silent lie.
 //   logr_cli info SUMMARY
 //       Prints the summary's encoder, clusters, weights and verbosities.
-//   logr_cli estimate SUMMARY CLAUSE:TEXT [CLAUSE:TEXT ...]
+//   logr_cli estimate SUMMARY TERM [TERM ...]
 //       Estimates how many logged queries contain all the given
-//       features, e.g.  logr_cli estimate s.logr "WHERE:status = ?".
+//       features. A TERM is CLAUSE:TEXT (e.g. "WHERE:status = ?") or a
+//       numeric feature id from the codebook ("#7" or "7"); arguments
+//       may also be comma-separated lists ("0,2"). Malformed terms are
+//       rejected loudly and the set is deduplicated, exactly like the
+//       serve protocol (both parse via workload/predicate.h).
+//   logr_cli query ENDPOINT REQUEST...
+//       Sends one request line to a running logr_serve daemon and
+//       prints the response, e.g.
+//         logr_cli query tcp:127.0.0.1:7979 estimate prod FROM:orders
+//       Exit status is 0 for an "ok" response, 1 otherwise.
 //   logr_cli visualize SUMMARY
 //       Renders each cluster as a shaded SQL template (Fig. 10 style).
 //   logr_cli demo
@@ -82,9 +91,11 @@
 #include "core/visualize.h"
 #include "data/pocketdata.h"
 #include "data/sql_log.h"
+#include "serve/client.h"
 #include "util/subprocess.h"
 #include "workload/binary_log.h"
 #include "workload/loader.h"
+#include "workload/predicate.h"
 
 namespace {
 
@@ -107,7 +118,8 @@ int Usage() {
                "       logr_cli merge [--clusters K] [--out FILE] "
                "SUMMARY...\n"
                "       logr_cli info SUMMARY\n"
-               "       logr_cli estimate SUMMARY CLAUSE:TEXT...\n"
+               "       logr_cli estimate SUMMARY TERM...\n"
+               "       logr_cli query ENDPOINT REQUEST...\n"
                "       logr_cli visualize SUMMARY\n"
                "       logr_cli demo\n");
   return 2;
@@ -125,17 +137,6 @@ bool ParseCount(const char* text, long long min_value, long long* out) {
     return false;
   }
   *out = parsed;
-  return true;
-}
-
-bool ParseClause(const std::string& label, FeatureClause* clause) {
-  if (label == "SELECT") *clause = FeatureClause::kSelect;
-  else if (label == "FROM") *clause = FeatureClause::kFrom;
-  else if (label == "WHERE") *clause = FeatureClause::kWhere;
-  else if (label == "GROUPBY") *clause = FeatureClause::kGroupBy;
-  else if (label == "ORDERBY") *clause = FeatureClause::kOrderBy;
-  else if (label == "LIMIT") *clause = FeatureClause::kLimit;
-  else return false;
   return true;
 }
 
@@ -341,12 +342,6 @@ int RunCompress(int argc, char** argv) {
                 model.Error(), model.BaseError(), extra);
   }
 
-  if (model.AsNaiveMixture() == nullptr) {
-    std::printf("note: %s summaries are in-memory only and cannot be "
-                "written; skipping %s\n",
-                model.EncoderName(), out_path.c_str());
-    return 0;
-  }
   std::string error;
   if (!WriteSummaryFile(out_path, view.vocabulary(), model, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
@@ -756,36 +751,58 @@ int RunEstimate(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  std::vector<FeatureId> ids;
+  // The canonical parser (shared with the serve protocol) accepts both
+  // CLAUSE:TEXT terms and numeric feature ids, rejects malformed terms
+  // loudly, and sorts + dedupes the result. Each argument may itself be
+  // a comma-separated list, the same syntax the protocol accepts.
+  std::vector<std::string> terms;
   for (int i = 3; i < argc; ++i) {
-    std::string spec = argv[i];
-    std::size_t colon = spec.find(':');
-    if (colon == std::string::npos) {
-      std::fprintf(stderr, "feature spec must be CLAUSE:TEXT, got %s\n",
-                   spec.c_str());
-      return 2;
+    for (std::string& t : SplitPredicateList(argv[i])) {
+      terms.push_back(std::move(t));
     }
-    FeatureClause clause;
-    if (!ParseClause(spec.substr(0, colon), &clause)) {
-      std::fprintf(stderr, "unknown clause in %s\n", spec.c_str());
-      return 2;
-    }
-    Feature feat{clause, spec.substr(colon + 1)};
-    FeatureId id = s.vocabulary.Find(feat);
-    if (id == Vocabulary::kNotFound) {
+  }
+  ParsedPredicate pred;
+  if (!ParsePredicate(terms, s.vocabulary, &pred, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (!pred.missing.empty()) {
+    for (const std::string& m : pred.missing) {
       std::printf("feature %s never occurs in the summarized log; "
                   "estimate 0\n",
-                  feat.ToString().c_str());
-      return 0;
+                  m.c_str());
     }
-    ids.push_back(id);
+    return 0;
   }
-  FeatureVec pattern(std::move(ids));
   std::printf("est[ count ] = %.2f of %llu queries (marginal %.6f)\n",
-              s.model->EstimateCount(pattern),
+              s.model->EstimateCount(pred.features),
               static_cast<unsigned long long>(s.model->LogSize()),
-              s.model->EstimateMarginal(pattern));
+              s.model->EstimateMarginal(pred.features));
   return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  ServeClient client;
+  std::string error;
+  if (!client.Connect(argv[2], &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  // The remaining args are one request line; joining them back lets the
+  // shell split "estimate prod WHERE:status = ?" naturally.
+  std::string request;
+  for (int i = 3; i < argc; ++i) {
+    if (i > 3) request += " ";
+    request += argv[i];
+  }
+  std::string response;
+  if (!client.Request(request, &response, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response.c_str());
+  return response.rfind("ok", 0) == 0 ? 0 : 1;
 }
 
 int RunVisualize(int argc, char** argv) {
@@ -841,6 +858,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "merge") == 0) return RunMerge(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "estimate") == 0) return RunEstimate(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
   if (std::strcmp(argv[1], "visualize") == 0) return RunVisualize(argc, argv);
   if (std::strcmp(argv[1], "demo") == 0) return RunDemo();
   return Usage();

@@ -175,21 +175,11 @@ bool RunDistributedWorker(const DistributedWorkerOptions& opts,
   LogView view(shard);
   const LogRSummary summary = Compress(view, copts);
 
-  // Atomic spool: write to a pid-suffixed temp name, then rename. A
-  // worker killed at any instant leaves either nothing or a temp file —
-  // never a truncated summary the coordinator could mistake for done.
-  std::string tmp = opts.out_path + ".tmp";
-#if !defined(_WIN32)
-  tmp += "." + std::to_string(static_cast<long>(::getpid()));
-#endif
-  if (!WriteSummaryFile(tmp, view.vocabulary(), summary.Model(), error)) {
-    return false;
-  }
-  if (std::rename(tmp.c_str(), opts.out_path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Fail(error, "cannot rename " + tmp + " to " + opts.out_path);
-  }
-  return true;
+  // WriteSummaryFile spools atomically (pid-suffixed temp + rename), so
+  // a worker killed at any instant leaves either nothing or a temp file
+  // — never a truncated summary the coordinator could mistake for done.
+  return WriteSummaryFile(opts.out_path, view.vocabulary(), summary.Model(),
+                          error);
 }
 
 DistributedCompressor::DistributedCompressor(

@@ -8,6 +8,7 @@
 
 #include "core/itemsets.h"
 #include "core/pattern_encoding.h"
+#include "core/pattern_model.h"
 #include "core/refine.h"
 #include "util/check.h"
 
@@ -26,14 +27,10 @@ constexpr std::size_t kDefaultRefinePatterns = 4;
 /// PatternEncoding::kMaxPatterns.
 constexpr std::size_t kDefaultPatternBudget = 8;
 
-/// Practical per-component ceiling for the "pattern" encoder: iterative
-/// scaling costs O(iterations · m · 2^m) per component, so while
-/// PatternEncoding accepts up to kMaxPatterns (20), fits beyond 2^12
-/// classes take minutes per component — past the paper's own m <= 15
-/// inference ceiling for MTV (Sec. 7.2.2). Requests above this are
-/// clamped, which also guarantees the hard kMaxPatterns error can never
-/// trip from this encoder.
-constexpr std::size_t kMaxEncoderPatterns = 12;
+/// Practical per-component ceiling for the "pattern" encoder (shared
+/// with ReadSummary's plausibility bound — see the constant's comment).
+constexpr std::size_t kMaxEncoderPatterns =
+    PatternMixtureModel::kMaxServablePatterns;
 
 /// Apriori candidate cap the refined miner passes as max_results: no
 /// component can retain more patterns than the miner ever surfaces.
@@ -135,90 +132,6 @@ class RefinedEncoder : public Encoder {
 };
 
 // --------------------------------------------------------------- pattern
-
-/// A mixture of general pattern encodings, one per component, each
-/// fitted by iterative scaling over its signature lattice (maxent/).
-class PatternMixtureModel : public WorkloadModel {
- public:
-  struct Component {
-    double weight = 0.0;
-    PatternEncoding encoding;
-    Component(double w, PatternEncoding enc)
-        : weight(w), encoding(std::move(enc)) {}
-  };
-
-  PatternMixtureModel(std::vector<Component> components,
-                      std::uint64_t log_size)
-      : components_(std::move(components)), log_size_(log_size) {}
-
-  const char* EncoderName() const override { return "pattern"; }
-
-  double Error() const override {
-    double e = 0.0;
-    for (const Component& c : components_) {
-      if (c.weight > 0.0) e += c.weight * c.encoding.ReproductionError();
-    }
-    return e;
-  }
-
-  std::size_t TotalVerbosity() const override {
-    std::size_t v = 0;
-    for (const Component& c : components_) v += c.encoding.Verbosity();
-    return v;
-  }
-
-  std::size_t NumComponents() const override { return components_.size(); }
-  std::uint64_t LogSize() const override { return log_size_; }
-
-  double EstimateMarginal(const FeatureVec& b) const override {
-    double acc = 0.0;
-    for (const Component& c : components_) {
-      if (c.weight > 0.0) acc += c.weight * c.encoding.EstimateMarginal(b);
-    }
-    return acc;
-  }
-
-  double EstimateCount(const FeatureVec& b) const override {
-    double acc = 0.0;
-    for (const Component& c : components_) {
-      acc += c.encoding.EstimateCount(b);
-    }
-    return acc;
-  }
-
-  double ComponentWeight(std::size_t i) const override {
-    return components_[i].weight;
-  }
-  std::uint64_t ComponentLogSize(std::size_t i) const override {
-    return components_[i].encoding.LogSize();
-  }
-  std::size_t ComponentVerbosity(std::size_t i) const override {
-    return components_[i].encoding.Verbosity();
-  }
-  double ComponentError(std::size_t i) const override {
-    return components_[i].encoding.ReproductionError();
-  }
-
-  std::vector<FeatureId> ComponentFeatures(std::size_t i) const override {
-    FeatureVec support;
-    for (const FeatureVec& b : components_[i].encoding.patterns()) {
-      support = FeatureVec::Union(support, b);
-    }
-    return support.ids;
-  }
-
-  double ComponentMarginal(std::size_t i, FeatureId f) const override {
-    return components_[i].encoding.EstimateMarginal(FeatureVec({f}));
-  }
-
-  std::vector<FeatureVec> ComponentPatterns(std::size_t i) const override {
-    return components_[i].encoding.patterns();
-  }
-
- private:
-  std::vector<Component> components_;
-  std::uint64_t log_size_ = 0;
-};
 
 class PatternEncoder : public Encoder {
  public:

@@ -26,6 +26,8 @@
 
 namespace logr {
 
+class PatternMixtureModel;
+
 /// Everything an encoder needs besides the log and the partition.
 struct EncodeRequest {
   /// Number of mixture components the assignment was cut to.
@@ -112,6 +114,14 @@ class WorkloadModel {
   /// when this model is not backed by one. Analytics consumers must use
   /// the facade above instead.
   virtual const NaiveMixtureEncoding* AsNaiveMixture() const {
+    return nullptr;
+  }
+
+  /// Escape hatch for serialization of the "pattern" family: the
+  /// concrete PatternMixtureModel (core/pattern_model.h), or nullptr
+  /// when this model is not one. Analytics consumers must use the
+  /// facade above instead.
+  virtual const PatternMixtureModel* AsPatternMixture() const {
     return nullptr;
   }
 };

@@ -21,4 +21,22 @@ PatternEncoding::PatternEncoding(const QueryLog& log,
   model_ = std::make_unique<MaxEntModel>(space_.get(), marginals_, opts);
 }
 
+PatternEncoding::PatternEncoding(std::vector<FeatureVec> patterns,
+                                 std::vector<double> marginals,
+                                 std::size_t n_features,
+                                 double empirical_entropy,
+                                 std::uint64_t log_size,
+                                 const ScalingOptions& opts)
+    : patterns_(std::move(patterns)),
+      marginals_(std::move(marginals)),
+      empirical_entropy_(empirical_entropy),
+      log_size_(log_size) {
+  LOGR_CHECK_MSG(patterns_.size() <= kMaxPatterns,
+                 "PatternEncoding materializes the 2^m signature lattice "
+                 "and supports at most kMaxPatterns (20) patterns");
+  LOGR_CHECK(patterns_.size() == marginals_.size());
+  space_ = std::make_unique<SignatureSpace>(patterns_, n_features);
+  model_ = std::make_unique<MaxEntModel>(space_.get(), marginals_, opts);
+}
+
 }  // namespace logr

@@ -32,12 +32,33 @@ class PatternEncoding {
   PatternEncoding(const QueryLog& log, std::vector<FeatureVec> patterns,
                   const ScalingOptions& opts = ScalingOptions());
 
+  /// Rebuilds an encoding from its serialized state — the patterns, the
+  /// marginals that were measured on the (absent) log, the feature
+  /// universe width, and the stored empirical entropy and log size — and
+  /// refits the max-ent representative by iterative scaling. Feeding
+  /// back exactly what the first constructor measured reproduces its
+  /// model bit for bit: the fit is a deterministic function of
+  /// (patterns, marginals, n_features).
+  PatternEncoding(std::vector<FeatureVec> patterns,
+                  std::vector<double> marginals, std::size_t n_features,
+                  double empirical_entropy, std::uint64_t log_size,
+                  const ScalingOptions& opts = ScalingOptions());
+
   std::size_t Verbosity() const { return patterns_.size(); }
   const std::vector<FeatureVec>& patterns() const { return patterns_; }
   const std::vector<double>& marginals() const { return marginals_; }
 
   /// H(ρ_E) of the fitted max-ent representative (nats).
   double MaxEntEntropy() const { return model_->EntropyNats(); }
+
+  /// H(ρ*) of the encoded partition (measured at construction, carried
+  /// verbatim through serialization so Reproduction Error survives a
+  /// disk round trip).
+  double EmpiricalEntropy() const { return empirical_entropy_; }
+
+  /// Width of the feature universe the signature lattice was built
+  /// over (the encoded log's NumFeatures()).
+  std::size_t NumFeatures() const { return space_->num_features(); }
 
   /// Reproduction Error e(E) = H(ρ_E) - H(ρ*).
   double ReproductionError() const {

@@ -1,0 +1,76 @@
+#include "core/pattern_model.h"
+
+#include <utility>
+
+namespace logr {
+
+PatternMixtureModel::PatternMixtureModel(std::vector<Component> components,
+                                         std::uint64_t log_size)
+    : components_(std::move(components)), log_size_(log_size) {}
+
+double PatternMixtureModel::Error() const {
+  double e = 0.0;
+  for (const Component& c : components_) {
+    if (c.weight > 0.0) e += c.weight * c.encoding.ReproductionError();
+  }
+  return e;
+}
+
+std::size_t PatternMixtureModel::TotalVerbosity() const {
+  std::size_t v = 0;
+  for (const Component& c : components_) v += c.encoding.Verbosity();
+  return v;
+}
+
+double PatternMixtureModel::EstimateMarginal(const FeatureVec& b) const {
+  double acc = 0.0;
+  for (const Component& c : components_) {
+    if (c.weight > 0.0) acc += c.weight * c.encoding.EstimateMarginal(b);
+  }
+  return acc;
+}
+
+double PatternMixtureModel::EstimateCount(const FeatureVec& b) const {
+  double acc = 0.0;
+  for (const Component& c : components_) {
+    acc += c.encoding.EstimateCount(b);
+  }
+  return acc;
+}
+
+double PatternMixtureModel::ComponentWeight(std::size_t i) const {
+  return components_[i].weight;
+}
+
+std::uint64_t PatternMixtureModel::ComponentLogSize(std::size_t i) const {
+  return components_[i].encoding.LogSize();
+}
+
+std::size_t PatternMixtureModel::ComponentVerbosity(std::size_t i) const {
+  return components_[i].encoding.Verbosity();
+}
+
+double PatternMixtureModel::ComponentError(std::size_t i) const {
+  return components_[i].encoding.ReproductionError();
+}
+
+std::vector<FeatureId> PatternMixtureModel::ComponentFeatures(
+    std::size_t i) const {
+  FeatureVec support;
+  for (const FeatureVec& b : components_[i].encoding.patterns()) {
+    support = FeatureVec::Union(support, b);
+  }
+  return support.ids;
+}
+
+double PatternMixtureModel::ComponentMarginal(std::size_t i,
+                                              FeatureId f) const {
+  return components_[i].encoding.EstimateMarginal(FeatureVec({f}));
+}
+
+std::vector<FeatureVec> PatternMixtureModel::ComponentPatterns(
+    std::size_t i) const {
+  return components_[i].encoding.patterns();
+}
+
+}  // namespace logr

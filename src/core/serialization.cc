@@ -1,12 +1,16 @@
 #include "core/serialization.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "core/pattern_model.h"
 #include "util/check.h"
 
 namespace logr {
@@ -29,14 +33,19 @@ FeatureClause ClauseFromInt(int v) {
   }
 }
 
-/// Codebook + cluster payload shared by every summary version.
-void WritePayload(const Vocabulary& vocab,
-                  const NaiveMixtureEncoding& encoding, std::ostream& os) {
+/// Codebook block shared by every summary version.
+void WriteCodebook(const Vocabulary& vocab, std::ostream& os) {
   os << "features " << vocab.size() << "\n";
   for (FeatureId f = 0; f < vocab.size(); ++f) {
     const Feature& feat = vocab.Get(f);
     os << "f " << static_cast<int>(feat.clause) << " " << feat.text << "\n";
   }
+}
+
+/// Codebook + cluster payload of the naive family (v1/v2).
+void WritePayload(const Vocabulary& vocab,
+                  const NaiveMixtureEncoding& encoding, std::ostream& os) {
+  WriteCodebook(vocab, os);
   os << "clusters " << encoding.NumComponents() << "\n";
   for (std::size_t c = 0; c < encoding.NumComponents(); ++c) {
     const MixtureComponent& comp = encoding.Component(c);
@@ -50,16 +59,47 @@ void WritePayload(const Vocabulary& vocab,
   }
 }
 
+/// v3 body: one pcluster header per component, then that component's
+/// patterns with the marginals that were measured on the log. Emitting
+/// the *measured* marginals (not the fitted class probabilities) is
+/// what makes the round trip exact: the reader refits by the same
+/// deterministic iterative scaling the encoder ran, over the same
+/// inputs.
+void WritePatternSummary(const Vocabulary& vocab,
+                         const PatternMixtureModel& model, std::ostream& os) {
+  os << "logr-summary v3\n";
+  os << "encoder pattern\n";
+  WriteCodebook(vocab, os);
+  os << "clusters " << model.NumComponents() << "\n";
+  for (std::size_t c = 0; c < model.NumComponents(); ++c) {
+    const PatternEncoding& enc = model.ComponentEncoding(c);
+    os << "pcluster " << model.ComponentWeight(c) << " " << enc.LogSize()
+       << " " << enc.EmpiricalEntropy() << " " << enc.NumFeatures() << " "
+       << enc.patterns().size() << "\n";
+    for (std::size_t i = 0; i < enc.patterns().size(); ++i) {
+      const FeatureVec& b = enc.patterns()[i];
+      os << "pm " << enc.marginals()[i] << " " << b.size();
+      for (FeatureId f : b.ids) os << " " << f;
+      os << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 bool WriteSummary(const Vocabulary& vocab, const WorkloadModel& model,
                   std::ostream* out, std::string* error) {
+  if (const PatternMixtureModel* pattern = model.AsPatternMixture()) {
+    out->precision(17);
+    WritePatternSummary(vocab, *pattern, *out);
+    return true;
+  }
   const NaiveMixtureEncoding* payload = model.AsNaiveMixture();
   if (payload == nullptr) {
     return Fail(error, std::string("summaries produced by encoder '") +
                            model.EncoderName() +
-                           "' are not backed by a naive mixture and cannot "
-                           "be serialized");
+                           "' expose neither a naive-mixture nor a pattern "
+                           "payload and cannot be serialized");
   }
   // Only tags the reader understands are written: a runtime-registered
   // mergeable encoder persists as its naive payload, so its files stay
@@ -113,6 +153,8 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
     version = 1;
   } else if (line == "logr-summary v2") {
     version = 2;
+  } else if (line == "logr-summary v3") {
+    version = 3;
   } else {
     return Fail(error, "missing or unsupported header");
   }
@@ -125,7 +167,14 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
     if (!(ls >> tag >> summary->encoder) || tag != "encoder") {
       return Fail(error, "malformed encoder line: " + line);
     }
-    if (summary->encoder != "naive" && summary->encoder != "refined") {
+    // v3 exists solely to carry pattern components; the naive family
+    // stays on the byte-stable v2 format (CI diffs summaries with cmp).
+    if (version == 3) {
+      if (summary->encoder != "pattern") {
+        return Fail(error, "summary v3 requires encoder pattern, got: " +
+                               summary->encoder);
+      }
+    } else if (summary->encoder != "naive" && summary->encoder != "refined") {
       return Fail(error, "unsupported encoder tag: " + summary->encoder);
     }
   }
@@ -164,6 +213,92 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
       return Fail(error, "malformed clusters line: " + line);
     }
   }
+  if (version == 3) {
+    // Pattern components: refit each max-ent representative from the
+    // stored (patterns, measured marginals, universe width). The fit is
+    // deterministic, so the loaded model answers every estimate bit-for-
+    // bit like the in-memory one. Validation mirrors the v2 battery,
+    // plus the kMaxServablePatterns cap the encoder itself is clamped
+    // to: every file WriteSummary produces loads back, and a hostile
+    // file cannot demand an exponential lattice fit.
+    std::vector<PatternMixtureModel::Component> components;
+    components.reserve(n_clusters);
+    std::uint64_t total_log_size = 0;
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      if (!next_line(&line)) return Fail(error, "truncated pcluster header");
+      std::istringstream ls(line);
+      std::string tag;
+      double weight = 0.0, empirical = 0.0;
+      std::uint64_t log_size = 0;
+      std::size_t comp_features = 0, n_patterns = 0;
+      if (!(ls >> tag >> weight >> log_size >> empirical >> comp_features >>
+            n_patterns) ||
+          tag != "pcluster") {
+        return Fail(error, "malformed pcluster line: " + line);
+      }
+      if (!(weight >= 0.0 && weight <= 1.0 + 1e-9)) {
+        return Fail(error, "pcluster weight outside [0,1]: " + line);
+      }
+      if (!(empirical >= 0.0) || !std::isfinite(empirical)) {
+        return Fail(error,
+                    "pcluster entropy not finite/non-negative: " + line);
+      }
+      if (comp_features > n_features) {
+        return Fail(error, "pcluster universe exceeds the codebook: " + line);
+      }
+      if (n_patterns > PatternMixtureModel::kMaxServablePatterns) {
+        return Fail(error, "implausible pattern count: " + line);
+      }
+      std::vector<FeatureVec> patterns;
+      std::vector<double> marginals;
+      patterns.reserve(n_patterns);
+      marginals.reserve(n_patterns);
+      for (std::size_t i = 0; i < n_patterns; ++i) {
+        if (!next_line(&line)) return Fail(error, "truncated pattern list");
+        std::istringstream ps(line);
+        std::string ptag;
+        double p = 0.0;
+        std::size_t n_ids = 0;
+        if (!(ps >> ptag >> p >> n_ids) || ptag != "pm" || n_ids == 0 ||
+            n_ids > comp_features) {
+          return Fail(error, "malformed pattern-marginal line: " + line);
+        }
+        if (!(p >= 0.0 && p <= 1.0)) {
+          return Fail(error, "pattern marginal out of [0,1]: " + line);
+        }
+        std::vector<FeatureId> ids(n_ids);
+        for (std::size_t j = 0; j < n_ids; ++j) {
+          if (!(ps >> ids[j]) || ids[j] >= comp_features) {
+            return Fail(error,
+                        "pattern references unknown feature id: " + line);
+          }
+        }
+        FeatureVec b(std::move(ids));
+        if (b.size() != n_ids) {
+          return Fail(error, "duplicate id within pattern: " + line);
+        }
+        for (const FeatureVec& prev : patterns) {
+          if (prev.ids == b.ids) {
+            return Fail(error, "duplicate pattern in pcluster: " + line);
+          }
+        }
+        patterns.push_back(std::move(b));
+        marginals.push_back(p);
+      }
+      total_log_size += log_size;
+      components.emplace_back(
+          weight, PatternEncoding(std::move(patterns), std::move(marginals),
+                                  comp_features, empirical, log_size));
+    }
+    if (next_line(&line)) {
+      return Fail(error, "unexpected trailer line: " + line);
+    }
+    summary->encoding = NaiveMixtureEncoding();
+    summary->model = std::make_shared<PatternMixtureModel>(
+        std::move(components), total_log_size);
+    return true;
+  }
+
   std::vector<MixtureComponent> components;
   for (std::size_t c = 0; c < n_clusters; ++c) {
     if (!next_line(&line)) return Fail(error, "truncated cluster header");
@@ -311,25 +446,66 @@ bool ReadSummary(std::istream* in, PersistedSummary* summary,
   return true;
 }
 
+namespace {
+
+/// Both file writers stage into a same-directory temporary and rename
+/// over the target — rename(2) is atomic within a filesystem, so a
+/// concurrent reader (the serve daemon's directory watch, a parallel
+/// merge job) sees either the old complete summary or the new one,
+/// never a torn prefix, and a crashed writer never leaves a
+/// valid-looking partial at the published path.
+std::string StagingPathFor(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+bool CommitStagedFile(const std::string& tmp, const std::string& path,
+                      std::string* error) {
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Fail(error, "cannot publish summary (rename failed): " + path);
+  }
+  return true;
+}
+
+}  // namespace
+
 bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
                       const WorkloadModel& model, std::string* error) {
-  std::ofstream out(path);
-  if (!out) return Fail(error, "cannot open for writing: " + path);
-  if (!WriteSummary(vocab, model, &out, error)) return false;
-  out.flush();
-  if (!out) return Fail(error, "write failed: " + path);
-  return true;
+  const std::string tmp = StagingPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Fail(error, "cannot open for writing: " + tmp);
+    if (!WriteSummary(vocab, model, &out, error)) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Fail(error, "write failed: " + tmp);
+    }
+  }
+  return CommitStagedFile(tmp, path, error);
 }
 
 bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
                       const NaiveMixtureEncoding& encoding,
                       std::string* error) {
-  std::ofstream out(path);
-  if (!out) return Fail(error, "cannot open for writing: " + path);
-  WriteSummary(vocab, encoding, &out);
-  out.flush();
-  if (!out) return Fail(error, "write failed: " + path);
-  return true;
+  const std::string tmp = StagingPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Fail(error, "cannot open for writing: " + tmp);
+    WriteSummary(vocab, encoding, &out);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Fail(error, "write failed: " + tmp);
+    }
+  }
+  return CommitStagedFile(tmp, path, error);
 }
 
 bool ReadSummaryFile(const std::string& path, PersistedSummary* summary,

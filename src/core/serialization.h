@@ -23,12 +23,27 @@
 //   refined_error <value>           (informational; the loaded model
 //                                    recomputes the weighted sum)
 //
-// Only the naive mixture family serializes ("naive", "refined" — any
-// model whose AsNaiveMixture() is non-null). A runtime-registered
-// mergeable encoder persists as its naive payload under the "naive"
-// tag, so its files always load. "pattern" models carry a fitted
-// max-ent lattice per component and are in-memory only for now;
-// WriteSummary fails loudly for them.
+// The naive mixture family ("naive", "refined" — any model whose
+// AsNaiveMixture() is non-null) serializes as above. A runtime-
+// registered mergeable encoder persists as its naive payload under the
+// "naive" tag, so its files always load.
+//
+// "pattern" models (Sec. 2.3.1 — per-component max-ent lattices) have
+// no naive payload; they persist as summary v3, which stores each
+// component's patterns with the marginals that were measured on the
+// log, plus the stored empirical entropy / log size / universe width:
+//   logr-summary v3
+//   encoder pattern
+//   features <count>
+//   f <clause> <text...>
+//   clusters <count>
+//   pcluster <weight> <log_size> <empirical_entropy> <n_features>
+//            <n_patterns>
+//   pm <marginal> <n_ids> <id...>   (n_patterns lines per pcluster)
+// Loading refits each component's max-ent representative by iterative
+// scaling over exactly the stored (patterns, marginals, n_features) —
+// a deterministic fit, so a disk round trip reproduces every estimate
+// of the in-memory model bit for bit without the original log.
 #ifndef LOGR_CORE_SERIALIZATION_H_
 #define LOGR_CORE_SERIALIZATION_H_
 
@@ -52,15 +67,19 @@ struct PersistedSummary {
   /// Encoder tag ("naive" for v1 files).
   std::string encoder = "naive";
   /// The naive mixture payload (what the merge machinery operates on).
+  /// Empty for "pattern" summaries, which have no naive payload — the
+  /// merge machinery rejects them up front via Encoder::Mergeable().
   NaiveMixtureEncoding encoding;
   /// The analytics facade over the payload; never null after a
   /// successful ReadSummary.
   std::shared_ptr<const WorkloadModel> model;
 };
 
-/// Writes `model` (with `vocab` as its codebook) to `out`. Returns
-/// false (and fills `error`) for models outside the naive mixture
-/// family — e.g. the "pattern" encoder's — which cannot be serialized.
+/// Writes `model` (with `vocab` as its codebook) to `out`: summary v2
+/// for the naive mixture family, summary v3 for "pattern" models.
+/// Returns false (and fills `error`) for models that are neither — a
+/// runtime-registered encoder whose model exposes no serializable
+/// payload.
 bool WriteSummary(const Vocabulary& vocab, const WorkloadModel& model,
                   std::ostream* out, std::string* error);
 
@@ -68,12 +87,18 @@ bool WriteSummary(const Vocabulary& vocab, const WorkloadModel& model,
 void WriteSummary(const Vocabulary& vocab,
                   const NaiveMixtureEncoding& encoding, std::ostream* out);
 
-/// Parses a summary written by WriteSummary (v2) or by the pre-encoder
-/// v1 writer. Returns false (and fills `error`) on malformed input.
+/// Parses a summary written by WriteSummary (v2/v3) or by the
+/// pre-encoder v1 writer. Returns false (and fills `error`) on
+/// malformed input.
 bool ReadSummary(std::istream* in, PersistedSummary* summary,
                  std::string* error);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. Writes are atomic: the summary is
+/// written to a same-directory temporary file and renamed over `path`
+/// (the discipline the distributed spool has always used), so a
+/// concurrent reader — the serve daemon's directory watch, a CI `cmp`
+/// leg — can never observe a torn summary, and a crashed writer never
+/// leaves a valid-looking partial behind.
 bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,
                       const WorkloadModel& model, std::string* error);
 bool WriteSummaryFile(const std::string& path, const Vocabulary& vocab,

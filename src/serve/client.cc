@@ -1,0 +1,142 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace logr {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool ParsePort(const std::string& text, std::uint16_t* port) {
+  if (text.empty() || text.size() > 5) return false;
+  std::uint32_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (value > 65535) return false;
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeClient& ServeClient::operator=(ServeClient&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    pending_ = std::move(o.pending_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+bool ServeClient::Connect(const std::string& endpoint, std::string* error) {
+  Close();
+  std::string spec = endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+      return Fail(error, "unix socket path empty or too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Fail(error, "cannot create unix socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return Fail(error, "cannot connect to " + endpoint);
+    }
+    fd_ = fd;
+    return true;
+  }
+  if (spec.rfind("tcp:", 0) == 0) spec = spec.substr(4);
+  std::string host = "127.0.0.1";
+  std::string port_text = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  std::uint16_t port = 0;
+  if (!ParsePort(port_text, &port)) {
+    return Fail(error, "bad port in endpoint: " + endpoint);
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Fail(error, "bad host in endpoint: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Fail(error, "cannot create tcp socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Fail(error, "cannot connect to " + endpoint);
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool ServeClient::Request(const std::string& line, std::string* response,
+                          std::string* error) {
+  if (fd_ < 0) return Fail(error, "not connected");
+  if (!SendAll(fd_, line + "\n")) {
+    return Fail(error, "send failed (daemon gone?)");
+  }
+  char buf[4096];
+  while (true) {
+    const std::size_t nl = pending_.find('\n');
+    if (nl != std::string::npos) {
+      *response = pending_.substr(0, nl);
+      pending_.erase(0, nl + 1);
+      if (!response->empty() && response->back() == '\r') {
+        response->pop_back();
+      }
+      return true;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Fail(error, "connection closed mid-response");
+    pending_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+}  // namespace logr

@@ -1,0 +1,45 @@
+// Minimal blocking client for the serve protocol.
+//
+// One connection, one request line in, one response line out — the
+// exact shape `logr_cli query`, the tests, and the serve benchmark all
+// need. Accepts the same endpoint syntax ServeDaemon binds
+// ("unix:PATH", "tcp:HOST:PORT", "HOST:PORT", "PORT").
+#ifndef LOGR_SERVE_CLIENT_H_
+#define LOGR_SERVE_CLIENT_H_
+
+#include <string>
+
+namespace logr {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  ServeClient& operator=(ServeClient&& o) noexcept;
+
+  /// Connects to a ServeDaemon endpoint. Returns false (and fills
+  /// `error`) on a bad endpoint or refused connection.
+  bool Connect(const std::string& endpoint, std::string* error);
+
+  /// Sends one request line (newline appended) and reads the single
+  /// response line into `response` (newline stripped). Returns false on
+  /// a transport failure — a protocol-level failure is an "err ..."
+  /// response, which still returns true.
+  bool Request(const std::string& line, std::string* response,
+               std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string pending_;  ///< bytes read past the last response line
+};
+
+}  // namespace logr
+
+#endif  // LOGR_SERVE_CLIENT_H_

@@ -1,0 +1,49 @@
+// The serve daemon's request protocol, as a pure function over the
+// registry.
+//
+// Line-oriented, one request per line, one response line per request —
+// trivially scriptable with nc/socat and testable without a socket:
+//
+//   ping                         -> ok pong
+//   list                         -> ok <n> <name>...
+//   info NAME                    -> ok encoder=... clusters=... ...
+//   estimate NAME PREDICATE      -> ok count=<c> marginal=<m> queries=<q>
+//   marginal NAME TERM           -> ok marginal=<m> components=<k> <m_i>...
+//   drift NAME_A NAME_B          -> ok l1=<v> features=<n> top ...
+//   reload                       -> ok loaded=<l> reloaded=<r> ...
+//
+// PREDICATE is the canonical conjunctive form shared with `logr_cli
+// estimate` (workload/predicate.h): comma-separated CLAUSE:TEXT terms
+// and/or numeric feature ids, e.g. "FROM:orders,WHERE:status = ?" or
+// "3,7". Malformed requests answer a single "err <reason>" line — the
+// connection stays usable. Floating-point fields print at precision 17,
+// so a client sees estimates bit-identical to the served model's.
+#ifndef LOGR_SERVE_PROTOCOL_H_
+#define LOGR_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "serve/summary_registry.h"
+
+namespace logr {
+
+class ProtocolHandler {
+ public:
+  /// The handler serves snapshots out of `registry` (not owned; must
+  /// outlive the handler). Stateless otherwise — one handler serves
+  /// every connection concurrently.
+  explicit ProtocolHandler(SummaryRegistry* registry)
+      : registry_(registry) {}
+
+  /// Handles one request line (no trailing newline) and returns the
+  /// response line (no trailing newline, always "ok ..." or "err ...").
+  /// "quit" is not a protocol request — the connection loop handles it.
+  std::string HandleRequestLine(const std::string& line) const;
+
+ private:
+  SummaryRegistry* registry_;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_SERVE_PROTOCOL_H_

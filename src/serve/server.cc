@@ -1,0 +1,247 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace logr {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Longest request line a client may send before the connection is
+/// dropped — generous for any real predicate, small enough that a
+/// hostile client cannot balloon the daemon's memory.
+constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+bool ParsePort(const std::string& text, std::uint16_t* port) {
+  if (text.empty() || text.size() > 5) return false;
+  std::uint32_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (value > 65535) return false;
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+/// Fully sends `data`; MSG_NOSIGNAL so a client that hung up mid-reply
+/// surfaces as an error instead of SIGPIPE-killing the daemon.
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(SummaryRegistry* registry)
+    : registry_(registry), handler_(registry) {}
+
+ServeDaemon::~ServeDaemon() { Stop(); }
+
+bool ServeDaemon::Start(const ServeOptions& opts, std::string* error) {
+  if (listen_fd_ >= 0) return Fail(error, "daemon already started");
+
+  // Come up already serving the directory's current contents.
+  registry_->Rescan();
+
+  std::string spec = opts.listen;
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+      return Fail(error, "unix socket path empty or too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Fail(error, "cannot create unix socket");
+    ::unlink(path.c_str());  // a stale socket from a dead daemon
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      ::close(fd);
+      return Fail(error, "cannot bind unix socket " + path);
+    }
+    listen_fd_ = fd;
+    unix_path_ = path;
+    endpoint_ = "unix:" + path;
+  } else {
+    if (spec.rfind("tcp:", 0) == 0) spec = spec.substr(4);
+    std::string host = "127.0.0.1";
+    std::string port_text = spec;
+    const std::size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+      host = spec.substr(0, colon);
+      port_text = spec.substr(colon + 1);
+    }
+    std::uint16_t port = 0;
+    if (!ParsePort(port_text, &port)) {
+      return Fail(error, "bad port in listen endpoint: " + opts.listen);
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Fail(error, "bad host in listen endpoint: " + host);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Fail(error, "cannot create tcp socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      ::close(fd);
+      return Fail(error, "cannot bind " + host + ":" + port_text);
+    }
+    // Resolve the ephemeral port so callers can connect to port 0 binds.
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      ::close(fd);
+      return Fail(error, "cannot resolve bound port");
+    }
+    listen_fd_ = fd;
+    endpoint_ = "tcp:" + host + ":" + std::to_string(ntohs(addr.sin_port));
+  }
+
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (opts.rescan_interval_ms > 0) {
+    const int interval = opts.rescan_interval_ms;
+    watch_thread_ = std::thread([this, interval] { WatchLoop(interval); });
+  }
+  return true;
+}
+
+void ServeDaemon::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (stopping_.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedConnections();
+    Connection conn;
+    conn.fd = fd;
+    conn.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = conn.done;
+    conn.thread = std::thread([this, fd, done] {
+      ServeConnection(fd);
+      done->store(true);
+    });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void ServeDaemon::ReapFinishedConnections() {
+  // Caller holds conn_mu_. Connection threads never close their own fd
+  // — the owner joins first, then closes, so Stop() can safely
+  // shutdown() any fd still in the list.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done->load()) {
+      it->thread.join();
+      ::close(it->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServeDaemon::ServeConnection(int fd) {
+  std::string pending;
+  char buf[4096];
+  while (!stopping_.load()) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line == "quit") {
+        SendAll(fd, "ok bye\n");
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+      if (!SendAll(fd, handler_.HandleRequestLine(line) + "\n")) return;
+    }
+    if (pending.size() > kMaxRequestBytes) {
+      SendAll(fd, "err request line too long\n");
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+  }
+}
+
+void ServeDaemon::WatchLoop(int interval_ms) {
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  while (!stopping_.load()) {
+    watch_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return stopping_.load(); });
+    if (stopping_.load()) break;
+    registry_->Rescan();
+  }
+}
+
+void ServeDaemon::Stop() {
+  if (stopping_.exchange(true)) {
+    // A second Stop() (destructor after explicit Stop) still waits for
+    // the threads in case the first call is racing us — join below is
+    // guarded by joinable().
+  }
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (watch_thread_.joinable()) watch_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (Connection& conn : conns_) {
+    // Wake any read() still blocked, then join and close.
+    ::shutdown(conn.fd, SHUT_RDWR);
+  }
+  for (Connection& conn : conns_) {
+    if (conn.thread.joinable()) conn.thread.join();
+    ::close(conn.fd);
+  }
+  conns_.clear();
+}
+
+}  // namespace logr

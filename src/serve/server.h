@@ -1,0 +1,103 @@
+// The serve daemon: sockets, connection threads, and the directory
+// watch.
+//
+// ServeDaemon binds one listening socket — TCP loopback or a Unix
+// domain socket — and answers the line protocol (serve/protocol.h) on
+// every connection. Two background activities run until Stop():
+//
+//   * the accept loop polls the listening socket (100 ms ticks, so a
+//     stop request is honored promptly without signals) and spawns one
+//     thread per connection;
+//   * the watch loop calls SummaryRegistry::Rescan() every
+//     `rescan_interval_ms`, which is the hot-reload path: drop a new
+//     summary into the directory (WriteSummaryFile renames it into
+//     place atomically) and it goes live within one interval, while
+//     requests already running keep their shared_ptr snapshots.
+//
+// Stop() (and the destructor) closes the listening socket, wakes the
+// watcher, shuts down every live connection, and joins all threads —
+// no detached threads anywhere, so the daemon is clean under TSan and
+// safe to start/stop repeatedly inside one test process.
+#ifndef LOGR_SERVE_SERVER_H_
+#define LOGR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/summary_registry.h"
+
+namespace logr {
+
+struct ServeOptions {
+  /// Listen endpoint: "unix:PATH" for a Unix domain socket, or
+  /// "tcp:HOST:PORT" / "HOST:PORT" / "PORT" for TCP (PORT 0 binds an
+  /// ephemeral port; see ServeDaemon::endpoint()).
+  std::string listen = "tcp:127.0.0.1:0";
+  /// Directory watch cadence. 0 disables the watch thread entirely —
+  /// reloads then only happen through the protocol's "reload" request.
+  int rescan_interval_ms = 500;
+};
+
+class ServeDaemon {
+ public:
+  /// `registry` must outlive the daemon. An initial Rescan() is issued
+  /// by Start(), so the daemon comes up already serving the directory.
+  explicit ServeDaemon(SummaryRegistry* registry);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Binds, listens, and starts the accept + watch threads. Returns
+  /// false (and fills `error`) on a bad endpoint or bind failure.
+  bool Start(const ServeOptions& opts, std::string* error);
+
+  /// The bound endpoint in ServeOptions::listen syntax — for TCP with
+  /// port 0, the resolved ephemeral port (e.g. "tcp:127.0.0.1:41523").
+  std::string endpoint() const { return endpoint_; }
+
+  /// Stops accepting, drains and joins every thread. Idempotent.
+  void Stop();
+
+  /// Connections accepted so far (for tests and the daemon's shutdown
+  /// log line).
+  std::uint64_t ConnectionsAccepted() const { return connections_.load(); }
+
+ private:
+  void AcceptLoop();
+  void WatchLoop(int interval_ms);
+  void ServeConnection(int fd);
+  void ReapFinishedConnections();
+
+  SummaryRegistry* registry_;
+  ProtocolHandler handler_;
+  std::string endpoint_;
+  std::string unix_path_;  ///< non-empty when listening on AF_UNIX
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+
+  std::thread accept_thread_;
+  std::thread watch_thread_;
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex conn_mu_;
+  std::vector<Connection> conns_;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_SERVE_SERVER_H_

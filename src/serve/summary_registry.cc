@@ -1,0 +1,140 @@
+#include "serve/summary_registry.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace logr {
+
+namespace {
+
+constexpr char kSuffix[] = ".logr";
+constexpr std::size_t kSuffixLen = sizeof(kSuffix) - 1;
+
+struct FileIdentity {
+  std::int64_t mtime_ns = 0;
+  std::uint64_t size = 0;
+};
+
+bool StatIdentity(const std::string& path, FileIdentity* out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) return false;
+  out->mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) *
+                      1000000000ll +
+                  static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+  out->size = static_cast<std::uint64_t>(st.st_size);
+  return true;
+}
+
+}  // namespace
+
+SummaryRegistry::SummaryRegistry(std::string dir) : dir_(std::move(dir)) {}
+
+SummaryRegistry::ScanResult SummaryRegistry::Rescan() {
+  ScanResult result;
+
+  // Enumerate candidate files. The ".logr" suffix check naturally skips
+  // WriteSummaryFile's ".logr.tmp.<pid>" staging names, so a write in
+  // progress is invisible until its rename lands.
+  std::map<std::string, std::string> names;  // name -> path, sorted
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) {
+    result.failed = 1;
+    result.errors.push_back(dir_ + ": cannot read directory");
+    return result;
+  }
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string file = ent->d_name;
+    if (file.size() <= kSuffixLen ||
+        file.compare(file.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) {
+      continue;
+    }
+    const std::string path = dir_.empty() || dir_.back() == '/'
+                                 ? dir_ + file
+                                 : dir_ + "/" + file;
+    names.emplace(file.substr(0, file.size() - kSuffixLen), path);
+  }
+  ::closedir(d);
+
+  // Load new/changed files outside the lock — an iterative-scaling
+  // refit of a pattern summary can take a while, and readers must keep
+  // being served the old snapshots meanwhile.
+  std::vector<std::shared_ptr<const ServedSummary>> fresh;
+  for (const auto& [name, path] : names) {
+    FileIdentity id;
+    if (!StatIdentity(path, &id)) {
+      ++result.failed;
+      result.errors.push_back(path + ": cannot stat");
+      continue;
+    }
+    std::uint64_t generation = 1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(name);
+      if (it != entries_.end()) {
+        if (it->second->mtime_ns == id.mtime_ns &&
+            it->second->file_size == id.size) {
+          continue;  // unchanged
+        }
+        generation = it->second->generation + 1;
+      }
+    }
+    auto snapshot = std::make_shared<ServedSummary>();
+    snapshot->name = name;
+    snapshot->path = path;
+    snapshot->mtime_ns = id.mtime_ns;
+    snapshot->file_size = id.size;
+    snapshot->generation = generation;
+    std::string error;
+    if (!ReadSummaryFile(path, &snapshot->summary, &error)) {
+      // Keep serving whatever this name served before; a torn file is
+      // impossible (writes are atomic), so this is a real bad summary.
+      ++result.failed;
+      result.errors.push_back(path + ": " + error);
+      continue;
+    }
+    if (generation == 1) {
+      ++result.loaded;
+    } else {
+      ++result.reloaded;
+    }
+    fresh.push_back(std::move(snapshot));
+  }
+
+  // Publish: swap in the fresh snapshots, drop names whose file is
+  // gone. Requests holding old snapshots drain on them unharmed.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& snapshot : fresh) {
+    entries_[snapshot->name] = std::move(snapshot);
+  }
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (names.find(it->first) == names.end()) {
+      it = entries_.erase(it);
+      ++result.removed;
+    } else {
+      ++it;
+    }
+  }
+  return result;
+}
+
+std::shared_ptr<const ServedSummary> SummaryRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<const ServedSummary>> SummaryRegistry::List()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const ServedSummary>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, snapshot] : entries_) out.push_back(snapshot);
+  return out;
+}
+
+}  // namespace logr

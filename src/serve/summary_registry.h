@@ -1,0 +1,83 @@
+// Hot-reloading registry of on-disk summaries for the serve daemon.
+//
+// The registry owns the daemon's view of a directory of `*.logr` files:
+// each summary is loaded into an immutable snapshot behind a
+// shared_ptr, and Rescan() reconciles the map against the directory —
+// loading new files, reloading changed ones (detected by mtime + size),
+// and dropping deleted ones. Publication is a pointer swap under the
+// map mutex, so a concurrent request either sees the complete old
+// snapshot or the complete new one, never a half-loaded summary; a
+// request already holding the old snapshot keeps it alive through its
+// shared_ptr until it drains. Pairs with WriteSummaryFile's atomic
+// tmp-file + rename: a compressor publishing into the directory can
+// never expose a torn file to the scanner, so a failed parse means a
+// genuinely bad summary — the registry then keeps serving the previous
+// snapshot and reports the failure instead of dropping the name.
+#ifndef LOGR_SERVE_SUMMARY_REGISTRY_H_
+#define LOGR_SERVE_SUMMARY_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/serialization.h"
+
+namespace logr {
+
+/// One immutable served snapshot: a loaded summary plus the file
+/// identity it was loaded from. Never mutated after construction —
+/// reload builds a fresh instance and swaps the pointer.
+struct ServedSummary {
+  /// Serving name: the file's basename without the ".logr" suffix.
+  std::string name;
+  std::string path;
+  /// Change-detection identity of the loaded file.
+  std::int64_t mtime_ns = 0;
+  std::uint64_t file_size = 0;
+  /// Reload generation (1 on first load), for observability.
+  std::uint64_t generation = 1;
+  PersistedSummary summary;
+};
+
+class SummaryRegistry {
+ public:
+  explicit SummaryRegistry(std::string dir);
+
+  struct ScanResult {
+    std::size_t loaded = 0;    ///< new names that came up
+    std::size_t reloaded = 0;  ///< existing names swapped to a new file
+    std::size_t removed = 0;   ///< names whose file disappeared
+    std::size_t failed = 0;    ///< files that would not stat or parse
+    /// One "path: reason" line per failure, for logs.
+    std::vector<std::string> errors;
+  };
+
+  /// Reconciles the registry against the directory. Parsing happens
+  /// outside the map lock (a slow refit never blocks readers); only the
+  /// final pointer swaps take it. Safe to call from the watch thread
+  /// while request threads read. A file that fails to load keeps its
+  /// previously served snapshot (if any) and counts as failed.
+  ScanResult Rescan();
+
+  /// The current snapshot for `name`, or nullptr. The caller's
+  /// shared_ptr keeps the snapshot valid even if a rescan swaps or
+  /// removes the name mid-request.
+  std::shared_ptr<const ServedSummary> Find(const std::string& name) const;
+
+  /// All current snapshots, sorted by name.
+  std::vector<std::shared_ptr<const ServedSummary>> List() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  const std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServedSummary>> entries_;
+};
+
+}  // namespace logr
+
+#endif  // LOGR_SERVE_SUMMARY_REGISTRY_H_

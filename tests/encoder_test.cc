@@ -322,8 +322,11 @@ TEST(EncoderTest, PatternEncoderCapsPerComponentBudget) {
     total_patterns += patterns.size();
   }
   EXPECT_EQ(s.Model().TotalVerbosity(), total_patterns);
-  // Pattern summaries are not backed by a naive mixture.
+  // Pattern summaries are not backed by a naive mixture; they expose
+  // their concrete components through AsPatternMixture for the v3
+  // serializer instead.
   EXPECT_EQ(s.Model().AsNaiveMixture(), nullptr);
+  EXPECT_NE(s.Model().AsPatternMixture(), nullptr);
 }
 
 TEST(EncoderTest, FacadeIsConsistentAcrossEncoders) {

@@ -1,3 +1,7 @@
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/logr_compressor.h"
@@ -291,6 +295,195 @@ TEST(SerializationTest, FileRoundTrip) {
   ASSERT_TRUE(ReadSummaryFile(path, &loaded, &error)) << error;
   EXPECT_NEAR(loaded.model->Error(), summary.Model().Error(), 1e-9);
   std::remove(path.c_str());
+}
+
+TEST(SerializationTest, FileWritesArePublishedAtomically) {
+  // WriteSummaryFile stages into a pid-suffixed temp and renames, so no
+  // staging file survives a successful publish and a failing target
+  // leaves nothing behind.
+  QueryLog log = MakeLog();
+  LogRSummary summary = Compress(log, LogROptions());
+  const std::string path = "/tmp/logr_atomic_test.logr";
+  const std::string staged =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::string error;
+  ASSERT_TRUE(
+      WriteSummaryFile(path, log.vocabulary(), summary.Model(), &error))
+      << error;
+  EXPECT_FALSE(std::ifstream(staged).good()) << "staging file leaked";
+  EXPECT_TRUE(std::ifstream(path).good());
+  std::remove(path.c_str());
+
+  // Unwritable target directory: a clean failure, no partial output.
+  EXPECT_FALSE(WriteSummaryFile("/nonexistent-dir/x.logr",
+                                log.vocabulary(), summary.Model(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+QueryLog PatternLog() {
+  Pcg32 rng(23);
+  QueryLog log;
+  for (FeatureId f = 0; f < 10; ++f) {
+    log.mutable_vocabulary()->Intern(
+        {FeatureClause::kWhere, "p" + std::to_string(f) + " = ?"});
+  }
+  for (int i = 0; i < 40; ++i) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 10; ++f) {
+      if (rng.NextBernoulli(f < 5 ? 0.6 : 0.2)) ids.push_back(f);
+    }
+    if (ids.empty()) ids.push_back(0);
+    log.Add(FeatureVec(std::move(ids)), 1 + rng.NextBounded(6));
+  }
+  return log;
+}
+
+TEST(SerializationTest, PatternSummaryRoundTripIsBitExact) {
+  // The headline bugfix: "pattern" models now persist (summary v3). The
+  // reader refits each component's max-ent lattice by the same
+  // deterministic iterative scaling the encoder ran, over the stored
+  // (patterns, measured marginals, universe width) — so every estimate
+  // is EXPECT_EQ-identical, not merely close, and a second write of the
+  // loaded model is byte-identical to the first.
+  QueryLog log = PatternLog();
+  LogROptions opts;
+  opts.num_clusters = 2;
+  opts.encoder = "pattern";
+  opts.pattern_budget = 6;
+  LogRSummary summary = Compress(log, opts);
+
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary loaded;
+  ASSERT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
+
+  EXPECT_EQ(loaded.encoder, "pattern");
+  EXPECT_STREQ(loaded.model->EncoderName(), "pattern");
+  EXPECT_EQ(loaded.model->NumComponents(), summary.Model().NumComponents());
+  EXPECT_EQ(loaded.model->LogSize(), summary.Model().LogSize());
+  EXPECT_EQ(loaded.model->TotalVerbosity(),
+            summary.Model().TotalVerbosity());
+  EXPECT_EQ(loaded.model->Error(), summary.Model().Error());
+  for (std::size_t c = 0; c < loaded.model->NumComponents(); ++c) {
+    EXPECT_EQ(loaded.model->ComponentWeight(c),
+              summary.Model().ComponentWeight(c));
+    EXPECT_EQ(loaded.model->ComponentLogSize(c),
+              summary.Model().ComponentLogSize(c));
+    EXPECT_EQ(loaded.model->ComponentError(c),
+              summary.Model().ComponentError(c));
+    EXPECT_EQ(loaded.model->ComponentPatterns(c),
+              summary.Model().ComponentPatterns(c));
+  }
+  Pcg32 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<FeatureId> ids;
+    for (FeatureId f = 0; f < 10; ++f) {
+      if (rng.NextBernoulli(0.3)) ids.push_back(f);
+    }
+    FeatureVec pattern(std::move(ids));
+    EXPECT_EQ(loaded.model->EstimateMarginal(pattern),
+              summary.Model().EstimateMarginal(pattern));
+    EXPECT_EQ(loaded.model->EstimateCount(pattern),
+              summary.Model().EstimateCount(pattern));
+  }
+
+  // Fixed point: writing the loaded model reproduces the bytes.
+  std::stringstream again;
+  ASSERT_TRUE(WriteSummary(loaded.vocabulary, *loaded.model, &again,
+                           &error))
+      << error;
+  std::stringstream first;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &first,
+                           &error))
+      << error;
+  EXPECT_EQ(again.str(), first.str());
+}
+
+TEST(SerializationTest, V3RequiresPatternEncoderAndV2RejectsPattern) {
+  {
+    std::istringstream in(
+        "logr-summary v3\n"
+        "encoder naive\n"
+        "features 1\nf 0 a\nclusters 0\n");
+    PersistedSummary loaded;
+    std::string error;
+    EXPECT_FALSE(ReadSummary(&in, &loaded, &error));
+    EXPECT_NE(error.find("requires encoder pattern"), std::string::npos)
+        << error;
+  }
+  {
+    std::istringstream in(
+        "logr-summary v2\n"
+        "encoder pattern\n"
+        "features 1\nf 0 a\nclusters 0\n");
+    PersistedSummary loaded;
+    std::string error;
+    EXPECT_FALSE(ReadSummary(&in, &loaded, &error));
+    EXPECT_NE(error.find("unsupported encoder tag"), std::string::npos)
+        << error;
+  }
+}
+
+TEST(SerializationTest, V3ValidationRejectsHostilePayloads) {
+  const std::string header =
+      "logr-summary v3\n"
+      "encoder pattern\n"
+      "features 3\nf 0 a\nf 0 b\nf 0 c\n"
+      "clusters 1\n";
+  struct Case {
+    const char* body;
+    const char* expect;
+  };
+  const Case cases[] = {
+      // More patterns than the encoder can ever produce: a hostile file
+      // must not get to demand an exponential lattice refit.
+      {"pcluster 1.0 4 0.5 3 13\n", "implausible pattern count"},
+      {"pcluster 2.0 4 0.5 3 1\npm 0.5 1 0\n", "weight outside"},
+      {"pcluster 1.0 4 -1 3 1\npm 0.5 1 0\n", "entropy not finite"},
+      // iostreams refuse "nan" at the parse level already.
+      {"pcluster 1.0 4 nan 3 1\npm 0.5 1 0\n", "malformed pcluster"},
+      {"pcluster 1.0 4 0.5 4 1\npm 0.5 1 0\n", "exceeds the codebook"},
+      {"pcluster 1.0 4 0.5 3 1\npm 1.5 1 0\n", "out of [0,1]"},
+      {"pcluster 1.0 4 0.5 3 1\npm 0.5 1 7\n", "unknown feature id"},
+      {"pcluster 1.0 4 0.5 3 1\npm 0.5 2 0 0\n", "duplicate id"},
+      {"pcluster 1.0 4 0.5 3 2\npm 0.5 1 0\npm 0.5 1 0\n",
+       "duplicate pattern"},
+      {"pcluster 1.0 4 0.5 3 1\npm 0.5 0\n", "malformed pattern-marginal"},
+      {"pcluster 1.0 4 0.5 3 1\n", "truncated pattern list"},
+      {"pcluster 1.0 4 0.5 3 1\npm 0.5 1 0\nextra trailer\n",
+       "unexpected trailer"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(header + c.body);
+    PersistedSummary loaded;
+    std::string error;
+    EXPECT_FALSE(ReadSummary(&in, &loaded, &error)) << c.body;
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << c.body << " -> " << error;
+  }
+}
+
+TEST(SerializationTest, PatternSummariesRefuseToMerge) {
+  QueryLog log = PatternLog();
+  LogROptions opts;
+  opts.num_clusters = 2;
+  opts.encoder = "pattern";
+  LogRSummary summary = Compress(log, opts);
+  std::stringstream buffer;
+  std::string error;
+  ASSERT_TRUE(WriteSummary(log.vocabulary(), summary.Model(), &buffer,
+                           &error))
+      << error;
+  PersistedSummary loaded;
+  ASSERT_TRUE(ReadSummary(&buffer, &loaded, &error)) << error;
+  std::vector<PersistedSummary> parts;
+  parts.push_back(std::move(loaded));
+  PersistedSummary merged;
+  EXPECT_FALSE(MergeSummaries(parts, 0, LogROptions(), &merged, &error));
+  EXPECT_NE(error.find("cannot be merged"), std::string::npos) << error;
 }
 
 }  // namespace

@@ -1,0 +1,377 @@
+// Tests for the serve subsystem: the canonical predicate parser shared
+// by the CLI and the protocol, SummaryRegistry hot-reload semantics
+// (snapshot swap, failed-parse keeps serving, removal), the live
+// daemon's protocol round trip over TCP and Unix sockets, concurrent
+// estimate load across a hot-reload swap (the TSan target), and
+// bit-consistency of served estimates with the in-memory model —
+// pattern summaries included, now that they persist.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/logr_compressor.h"
+#include "core/serialization.h"
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/summary_registry.h"
+#include "util/prng.h"
+#include "workload/predicate.h"
+
+namespace logr {
+namespace {
+
+QueryLog GroupedLog(std::size_t groups, std::size_t per_group,
+                    std::uint64_t seed) {
+  Pcg32 rng(seed);
+  QueryLog log;
+  for (std::size_t f = 0; f < groups * 8; ++f) {
+    log.mutable_vocabulary()->Intern(
+        {FeatureClause::kSelect, "col" + std::to_string(f)});
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t i = 0; i < per_group; ++i) {
+      std::vector<FeatureId> ids = {static_cast<FeatureId>(g * 8)};
+      for (std::size_t f = 1; f < 8; ++f) {
+        if (rng.NextBernoulli(0.5)) {
+          ids.push_back(static_cast<FeatureId>(g * 8 + f));
+        }
+      }
+      log.Add(FeatureVec(std::move(ids)), 1 + rng.NextBounded(30));
+    }
+  }
+  return log;
+}
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "logr_serve_" + tag + "_" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void WriteSummaryOrDie(const std::string& path, const QueryLog& log,
+                       const std::string& encoder, std::size_t clusters) {
+  LogROptions opts;
+  opts.num_clusters = clusters;
+  opts.encoder = encoder;
+  LogRSummary s = Compress(log, opts);
+  std::string error;
+  ASSERT_TRUE(WriteSummaryFile(path, log.vocabulary(), s.Model(), &error))
+      << error;
+}
+
+// ------------------------------------------------ predicate parser
+
+TEST(PredicateTest, CanonicalizesSortedAndDeduped) {
+  QueryLog log = GroupedLog(1, 4, 5);
+  ParsedPredicate pred;
+  std::string error;
+  ASSERT_TRUE(ParsePredicate({"7", "3", "#7", "3"}, log.vocabulary(), &pred,
+                             &error))
+      << error;
+  EXPECT_EQ(pred.features.ids, (std::vector<FeatureId>{3, 7}));
+  EXPECT_TRUE(pred.missing.empty());
+}
+
+TEST(PredicateTest, StructuralTermsResolveThroughTheCodebook) {
+  QueryLog log = GroupedLog(1, 4, 5);
+  ParsedPredicate pred;
+  std::string error;
+  ASSERT_TRUE(ParsePredicate({"SELECT:col2", "select:col1"},
+                             log.vocabulary(), &pred, &error))
+      << error;
+  EXPECT_EQ(pred.features.ids, (std::vector<FeatureId>{1, 2}));
+  // A feature absent from the codebook is reported, not an error: its
+  // marginal is exactly 0.
+  ASSERT_TRUE(ParsePredicate({"WHERE:nope = ?"}, log.vocabulary(), &pred,
+                             &error))
+      << error;
+  EXPECT_TRUE(pred.features.empty());
+  ASSERT_EQ(pred.missing.size(), 1u);
+}
+
+TEST(PredicateTest, RejectsMalformedTermsLoudly) {
+  QueryLog log = GroupedLog(1, 4, 5);
+  ParsedPredicate pred;
+  std::string error;
+  // Non-numeric id: the old CLI silently mis-parsed these as clauses.
+  EXPECT_FALSE(ParsePredicate({"7x"}, log.vocabulary(), &pred, &error));
+  EXPECT_NE(error.find("numeric"), std::string::npos) << error;
+  // Id past the codebook.
+  EXPECT_FALSE(ParsePredicate({"999"}, log.vocabulary(), &pred, &error));
+  EXPECT_NE(error.find("codebook"), std::string::npos) << error;
+  // Unknown clause, empty text, empty term, empty predicate.
+  EXPECT_FALSE(ParsePredicate({"HAVING:x"}, log.vocabulary(), &pred,
+                              &error));
+  EXPECT_FALSE(ParsePredicate({"WHERE:"}, log.vocabulary(), &pred, &error));
+  EXPECT_FALSE(ParsePredicate({""}, log.vocabulary(), &pred, &error));
+  EXPECT_FALSE(ParsePredicate({}, log.vocabulary(), &pred, &error));
+}
+
+TEST(PredicateTest, SplitsCommaListsAndTrims) {
+  const std::vector<std::string> terms =
+      SplitPredicateList("FROM:orders, WHERE:status = ? ,3");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "FROM:orders");
+  EXPECT_EQ(terms[1], "WHERE:status = ?");
+  EXPECT_EQ(terms[2], "3");
+  // Empty terms survive the split so the parser rejects them loudly.
+  EXPECT_EQ(SplitPredicateList("a,,b").size(), 3u);
+}
+
+// ------------------------------------------------ summary registry
+
+TEST(SummaryRegistryTest, LoadsReloadsAndRemoves) {
+  const std::string dir = FreshDir("registry");
+  QueryLog log = GroupedLog(2, 8, 11);
+  WriteSummaryOrDie(dir + "/a.logr", log, "naive", 2);
+
+  SummaryRegistry registry(dir);
+  SummaryRegistry::ScanResult r = registry.Rescan();
+  EXPECT_EQ(r.loaded, 1u);
+  EXPECT_EQ(r.failed, 0u);
+  auto a1 = registry.Find("a");
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(a1->generation, 1u);
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+
+  // Unchanged file: no reload.
+  r = registry.Rescan();
+  EXPECT_EQ(r.loaded + r.reloaded + r.removed + r.failed, 0u);
+  EXPECT_EQ(registry.Find("a"), a1);
+
+  // Re-publish a different summary under the same name: swapped in,
+  // while the old snapshot stays valid for holders.
+  WriteSummaryOrDie(dir + "/a.logr", GroupedLog(3, 8, 12), "naive", 3);
+  r = registry.Rescan();
+  EXPECT_EQ(r.reloaded, 1u);
+  auto a2 = registry.Find("a");
+  ASSERT_NE(a2, nullptr);
+  EXPECT_EQ(a2->generation, 2u);
+  EXPECT_EQ(a2->summary.model->NumComponents(), 3u);
+  EXPECT_EQ(a1->summary.model->NumComponents(), 2u);  // old snapshot alive
+
+  // A second name comes and goes.
+  WriteSummaryOrDie(dir + "/b.logr", log, "refined", 2);
+  EXPECT_EQ(registry.Rescan().loaded, 1u);
+  EXPECT_EQ(registry.List().size(), 2u);
+  ::unlink((dir + "/b.logr").c_str());
+  EXPECT_EQ(registry.Rescan().removed, 1u);
+  EXPECT_EQ(registry.Find("b"), nullptr);
+}
+
+TEST(SummaryRegistryTest, FailedParseKeepsServingTheOldSnapshot) {
+  const std::string dir = FreshDir("badfile");
+  QueryLog log = GroupedLog(2, 8, 21);
+  WriteSummaryOrDie(dir + "/a.logr", log, "naive", 2);
+  SummaryRegistry registry(dir);
+  ASSERT_EQ(registry.Rescan().loaded, 1u);
+  auto good = registry.Find("a");
+  ASSERT_NE(good, nullptr);
+
+  // Clobber the file with garbage (bypassing the atomic writer — a
+  // correct publisher can never do this). The registry must keep the
+  // old snapshot and report the failure.
+  {
+    std::ofstream out(dir + "/a.logr", std::ios::trunc);
+    out << "this is not a summary\n";
+  }
+  SummaryRegistry::ScanResult r = registry.Rescan();
+  EXPECT_EQ(r.failed, 1u);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(registry.Find("a"), good);
+}
+
+// ------------------------------------------------ live daemon
+
+TEST(ServeDaemonTest, ProtocolRoundTripOverTcp) {
+  const std::string dir = FreshDir("tcp");
+  QueryLog log = GroupedLog(2, 10, 31);
+  WriteSummaryOrDie(dir + "/prod.logr", log, "refined", 2);
+
+  SummaryRegistry registry(dir);
+  ServeDaemon daemon(&registry);
+  ServeOptions opts;
+  opts.listen = "tcp:127.0.0.1:0";
+  opts.rescan_interval_ms = 0;  // reloads only via the protocol
+  std::string error;
+  ASSERT_TRUE(daemon.Start(opts, &error)) << error;
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(daemon.endpoint(), &error)) << error;
+  std::string response;
+  ASSERT_TRUE(client.Request("ping", &response, &error)) << error;
+  EXPECT_EQ(response, "ok pong");
+  ASSERT_TRUE(client.Request("list", &response, &error)) << error;
+  EXPECT_EQ(response, "ok 1 prod");
+  ASSERT_TRUE(client.Request("info prod", &response, &error)) << error;
+  EXPECT_NE(response.find("ok encoder=refined"), std::string::npos)
+      << response;
+  ASSERT_TRUE(client.Request("estimate prod SELECT:col0", &response,
+                             &error))
+      << error;
+  EXPECT_EQ(response.rfind("ok count=", 0), 0u) << response;
+  ASSERT_TRUE(client.Request("marginal prod 0", &response, &error)) << error;
+  EXPECT_EQ(response.rfind("ok marginal=", 0), 0u) << response;
+  ASSERT_TRUE(client.Request("drift prod prod", &response, &error)) << error;
+  EXPECT_EQ(response.rfind("ok l1=0 ", 0), 0u) << response;
+  // Error paths keep the connection usable.
+  ASSERT_TRUE(client.Request("estimate nope 0", &response, &error)) << error;
+  EXPECT_EQ(response.rfind("err no summary named", 0), 0u) << response;
+  ASSERT_TRUE(client.Request("estimate prod 7x", &response, &error))
+      << error;
+  EXPECT_EQ(response.rfind("err ", 0), 0u) << response;
+  ASSERT_TRUE(client.Request("bogus", &response, &error)) << error;
+  EXPECT_EQ(response.rfind("err unknown command", 0), 0u) << response;
+  ASSERT_TRUE(client.Request("ping", &response, &error)) << error;
+  EXPECT_EQ(response, "ok pong");
+
+  daemon.Stop();
+  EXPECT_GE(daemon.ConnectionsAccepted(), 1u);
+}
+
+TEST(ServeDaemonTest, ServedEstimatesMatchTheInMemoryModelBitForBit) {
+  // The acceptance bar for pattern persistence: compress with the
+  // "pattern" encoder, publish with --out's code path, serve from disk,
+  // and the daemon's estimates equal the in-memory model's exactly
+  // (refit-on-load is deterministic; precision-17 rendering is
+  // round-trip exact).
+  const std::string dir = FreshDir("bitexact");
+  QueryLog log = GroupedLog(3, 10, 41);
+  LogROptions opts;
+  opts.num_clusters = 3;
+  opts.encoder = "pattern";
+  LogRSummary s = Compress(log, opts);
+  std::string error;
+  ASSERT_TRUE(WriteSummaryFile(dir + "/pat.logr", log.vocabulary(),
+                               s.Model(), &error))
+      << error;
+
+  SummaryRegistry registry(dir);
+  ServeDaemon daemon(&registry);
+  ServeOptions sopts;
+  sopts.listen = "unix:" + dir + "/sock";
+  sopts.rescan_interval_ms = 0;
+  ASSERT_TRUE(daemon.Start(sopts, &error)) << error;
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(daemon.endpoint(), &error)) << error;
+  for (FeatureId f = 0; f < 8; ++f) {
+    std::string response;
+    ASSERT_TRUE(client.Request("estimate pat " + std::to_string(f) + "," +
+                                   std::to_string(f + 8),
+                               &response, &error))
+        << error;
+    ASSERT_EQ(response.rfind("ok count=", 0), 0u) << response;
+    std::istringstream rs(response.substr(9));
+    double served_count = 0.0;
+    rs >> served_count;
+    const double expected =
+        s.Model().EstimateCount(FeatureVec({f, static_cast<FeatureId>(
+                                                   f + 8)}));
+    EXPECT_EQ(served_count, expected) << "feature " << f;
+  }
+  daemon.Stop();
+}
+
+TEST(ServeDaemonTest, HotReloadSwapsUnderConcurrentEstimateLoad) {
+  // The TSan target: client threads hammer estimates while the main
+  // thread keeps publishing new summaries into the watched directory.
+  // Every response must be a complete "ok ..." line — a request either
+  // sees the old snapshot or the new one, never a torn summary — and
+  // the daemon must end up serving the last published generation.
+  const std::string dir = FreshDir("hotreload");
+  QueryLog log_a = GroupedLog(2, 10, 51);
+  WriteSummaryOrDie(dir + "/live.logr", log_a, "naive", 2);
+
+  SummaryRegistry registry(dir);
+  ServeDaemon daemon(&registry);
+  ServeOptions opts;
+  opts.listen = "unix:" + dir + "/sock";
+  opts.rescan_interval_ms = 5;
+  std::string error;
+  ASSERT_TRUE(daemon.Start(opts, &error)) << error;
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 150;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      ServeClient client;
+      std::string cerror;
+      if (!client.Connect(daemon.endpoint(), &cerror)) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        std::string response;
+        const std::string predicate = std::to_string((t + i) % 16);
+        if (!client.Request("estimate live " + predicate, &response,
+                            &cerror) ||
+            response.rfind("ok count=", 0) != 0) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // Keep republishing while the clients run: alternate two different
+  // workloads so the served model visibly changes shape.
+  for (int round = 0; round < 10; ++round) {
+    QueryLog log = GroupedLog(2 + round % 2, 10, 60 + round);
+    LogROptions copts;
+    copts.num_clusters = 2 + round % 2;
+    copts.encoder = round % 2 == 0 ? "naive" : "refined";
+    LogRSummary s = Compress(log, copts);
+    ASSERT_TRUE(WriteSummaryFile(dir + "/live.logr", log.vocabulary(),
+                                 s.Model(), &error))
+        << error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The watcher must converge on the final file without a restart.
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(daemon.endpoint(), &error)) << error;
+  std::string response;
+  for (int tries = 0; tries < 100; ++tries) {
+    ASSERT_TRUE(client.Request("info live", &response, &error)) << error;
+    if (response.find("encoder=refined") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(response.find("encoder=refined"), std::string::npos) << response;
+
+  daemon.Stop();
+}
+
+TEST(ServeDaemonTest, ProtocolReloadRequestPicksUpNewSummaries) {
+  const std::string dir = FreshDir("reloadcmd");
+  SummaryRegistry registry(dir);
+  ProtocolHandler handler(&registry);
+  // Pure handler, no sockets: the protocol is a function of the
+  // registry.
+  EXPECT_EQ(handler.HandleRequestLine("list"), "ok 0");
+  QueryLog log = GroupedLog(2, 8, 71);
+  WriteSummaryOrDie(dir + "/fresh.logr", log, "naive", 2);
+  const std::string reload = handler.HandleRequestLine("reload");
+  EXPECT_EQ(reload.rfind("ok loaded=1 ", 0), 0u) << reload;
+  EXPECT_EQ(handler.HandleRequestLine("list"), "ok 1 fresh");
+  EXPECT_EQ(handler.HandleRequestLine("ping"), "ok pong");
+  EXPECT_EQ(handler.HandleRequestLine("").rfind("err ", 0), 0u);
+}
+
+}  // namespace
+}  // namespace logr
