@@ -714,6 +714,101 @@ BENCHMARK(BM_ServeEstimate)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Overload twin of ServeBenchSingleton: the same summary behind a
+/// daemon capped at 2 concurrent connections, so a connect-per-request
+/// herd is mostly shed. Started once per process, like its twin.
+const ServeBench& OverloadServeBenchSingleton() {
+  static const ServeBench* kServe = [] {
+    const QueryLog& log = PocketLogSingleton();
+    const std::string dir =
+        "/tmp/logr_micro_serve_overload." + std::to_string(::getpid());
+    std::string error;
+    LOGR_CHECK_MSG(EnsureDirectory(dir, &error), error.c_str());
+    LogROptions opts;
+    opts.num_clusters = 8;
+    opts.n_init = 1;
+    LogRSummary s = Compress(log, opts);
+    LOGR_CHECK_MSG(WriteSummaryFile(dir + "/pocket.logr", log.vocabulary(),
+                                    s.Model(), &error),
+                   error.c_str());
+    auto* bench = new ServeBench();
+    bench->registry = new SummaryRegistry(dir);
+    bench->daemon = new ServeDaemon(bench->registry);
+    ServeOptions sopts;
+    sopts.listen = "unix:" + dir + "/serve.sock";
+    sopts.rescan_interval_ms = 0;
+    sopts.max_connections = 2;
+    LOGR_CHECK_MSG(bench->daemon->Start(sopts, &error), error.c_str());
+    bench->endpoint = bench->daemon->endpoint();
+    const FeatureVec& vec = log.Vector(0);
+    bench->request = "estimate pocket " + std::to_string(vec.ids[0]) + "," +
+                     std::to_string(vec.ids[1]);
+    return bench;
+  }();
+  return *kServe;
+}
+
+void BM_ServeEstimateOverload(benchmark::State& state) {
+  // Sustained overload: 8 clients, each connecting per request against
+  // the cap-2 daemon. A request either lands (its latency feeds
+  // p50/p99) or is refused — an explicit "err busy", or the cut that
+  // follows one — and feeds shed_rate. The bench certifies that
+  // shedding stays cheap (served p99 does not collapse under the herd)
+  // and loud (shed_rate accounts for every refused request).
+  const ServeBench& serve = OverloadServeBenchSingleton();
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPerClient = 32;
+  std::int64_t total_served = 0;
+  std::int64_t total_shed = 0;
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(kClients);
+    std::atomic<std::int64_t> iter_shed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t r = 0; r < kPerClient; ++r) {
+          const auto start = std::chrono::steady_clock::now();
+          ServeClient client;
+          std::string response, error;
+          if (!client.Connect(serve.endpoint, 5000, &error) ||
+              !client.Request(serve.request, 5000, &response, &error) ||
+              response.compare(0, 3, "ok ") != 0) {
+            iter_shed.fetch_add(1);
+            continue;
+          }
+          const auto stop = std::chrono::steady_clock::now();
+          per_thread[c].push_back(
+              std::chrono::duration<double, std::micro>(stop - start)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    latencies_us.clear();
+    for (const std::vector<double>& lat : per_thread) {
+      latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+    }
+    total_served += static_cast<std::int64_t>(latencies_us.size());
+    total_shed += iter_shed.load();
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  if (!latencies_us.empty()) {
+    state.counters["p50_us"] = latencies_us[latencies_us.size() / 2];
+    state.counters["p99_us"] =
+        latencies_us[latencies_us.size() * 99 / 100];
+  }
+  const double refused = static_cast<double>(total_shed);
+  const double total = static_cast<double>(total_served) + refused;
+  state.counters["shed_rate"] = total > 0 ? refused / total : 0.0;
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(total_served), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeEstimateOverload)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_StreamingAdd(benchmark::State& state) {
   // Throughput of routing one query into a live streaming summary
   // (the online-monitoring path).

@@ -61,11 +61,15 @@
 //       may also be comma-separated lists ("0,2"). Malformed terms are
 //       rejected loudly and the set is deduplicated, exactly like the
 //       serve protocol (both parse via workload/predicate.h).
-//   logr_cli query ENDPOINT REQUEST...
+//   logr_cli query [--timeout MS] [--retries N] ENDPOINT REQUEST...
 //       Sends one request line to a running logr_serve daemon and
 //       prints the response, e.g.
 //         logr_cli query tcp:127.0.0.1:7979 estimate prod FROM:orders
-//       Exit status is 0 for an "ok" response, 1 otherwise.
+//       --timeout bounds the connect and the request round-trip;
+//       --retries retries (with exponential backoff + jitter) only
+//       connect failures and "err busy" shed replies — a request that
+//       was delivered is never re-sent. Exit status is 0 for an "ok"
+//       response, 1 otherwise.
 //   logr_cli visualize SUMMARY
 //       Renders each cluster as a shaded SQL template (Fig. 10 style).
 //   logr_cli demo
@@ -119,7 +123,8 @@ int Usage() {
                "SUMMARY...\n"
                "       logr_cli info SUMMARY\n"
                "       logr_cli estimate SUMMARY TERM...\n"
-               "       logr_cli query ENDPOINT REQUEST...\n"
+               "       logr_cli query [--timeout MS] [--retries N] "
+               "ENDPOINT REQUEST...\n"
                "       logr_cli visualize SUMMARY\n"
                "       logr_cli demo\n");
   return 2;
@@ -782,27 +787,49 @@ int RunEstimate(int argc, char** argv) {
 }
 
 int RunQuery(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  ServeClient client;
-  std::string error;
-  if (!client.Connect(argv[2], &error)) {
-    std::fprintf(stderr, "%s\n", error.c_str());
-    return 1;
+  RetryOptions retry;
+  int i = 2;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timeout" && i + 1 < argc) {
+      long long ms = 0;
+      if (!ParseCount(argv[++i], 0, &ms)) {
+        std::fprintf(stderr, "query: bad --timeout '%s'\n", argv[i]);
+        return 2;
+      }
+      // One deadline covers both phases: a hung connect and a hung
+      // response are the same outage to the caller.
+      retry.connect_timeout_ms = static_cast<int>(ms);
+      retry.request_timeout_ms = static_cast<int>(ms);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      long long n = 0;
+      if (!ParseCount(argv[++i], 0, &n)) {
+        std::fprintf(stderr, "query: bad --retries '%s'\n", argv[i]);
+        return 2;
+      }
+      retry.max_retries = static_cast<int>(n);
+    } else {
+      break;
+    }
   }
+  if (argc - i < 2) return Usage();
+  const std::string endpoint = argv[i++];
   // The remaining args are one request line; joining them back lets the
   // shell split "estimate prod WHERE:status = ?" naturally.
   std::string request;
-  for (int i = 3; i < argc; ++i) {
-    if (i > 3) request += " ";
+  for (int first = i; i < argc; ++i) {
+    if (i > first) request += " ";
     request += argv[i];
   }
-  std::string response;
-  if (!client.Request(request, &response, &error)) {
-    std::fprintf(stderr, "%s\n", error.c_str());
+  const QueryOutcome outcome = QueryWithRetry(endpoint, request, retry);
+  if (!outcome.ok) {
+    std::fprintf(stderr, "%s (after %d attempt%s)\n",
+                 outcome.error.c_str(), outcome.attempts,
+                 outcome.attempts == 1 ? "" : "s");
     return 1;
   }
-  std::printf("%s\n", response.c_str());
-  return response.rfind("ok", 0) == 0 ? 0 : 1;
+  std::printf("%s\n", outcome.response.c_str());
+  return outcome.response.rfind("ok", 0) == 0 ? 0 : 1;
 }
 
 int RunVisualize(int argc, char** argv) {

@@ -1,6 +1,7 @@
 // logr_serve — workload-analytics daemon over a directory of summaries.
 //
 //   logr_serve --dir DIR [--listen ENDPOINT] [--rescan-ms N]
+//              [--max-conns N] [--idle-ms N] [--drain-ms N]
 //
 // Loads every *.logr summary in DIR and serves the line protocol
 // (serve/protocol.h) on ENDPOINT — "unix:PATH" for a Unix domain
@@ -9,7 +10,15 @@
 // --rescan-ms milliseconds (default 500): drop a new summary in (the
 // compressor's WriteSummaryFile renames it into place atomically) and
 // it goes live without a restart, while in-flight requests drain on
-// the snapshot they started with. SIGINT/SIGTERM shut down cleanly.
+// the snapshot they started with.
+//
+// The daemon is hardened for hostile and overload traffic: --max-conns
+// caps concurrent connections (extras get an explicit "err busy" and
+// should retry with backoff — `logr_cli query --retries`), --idle-ms
+// cuts slow-loris peers that never send a request line, and
+// SIGINT/SIGTERM drain gracefully: requests already received finish
+// and flush their replies, bounded by --drain-ms. The `stats` protocol
+// verb reports accepted/active/shed/timed-out/requests/rescans.
 //
 // Try it:
 //   logr_cli compress --out summaries/prod.logr prod.sql
@@ -37,8 +46,16 @@ int Usage() {
   std::fprintf(stderr,
                "usage: logr_serve --dir DIR [--listen ENDPOINT] "
                "[--rescan-ms N]\n"
+               "                  [--max-conns N] [--idle-ms N] "
+               "[--drain-ms N]\n"
                "  ENDPOINT: unix:PATH | tcp:HOST:PORT | PORT "
-               "(default tcp:127.0.0.1:0 = ephemeral)\n");
+               "(default tcp:127.0.0.1:0 = ephemeral)\n"
+               "  --max-conns: concurrent-connection cap; extras get "
+               "'err busy' (default 64, 0 = off)\n"
+               "  --idle-ms:   per-connection idle/read deadline "
+               "(default 30000, 0 = off)\n"
+               "  --drain-ms:  shutdown drain budget for in-flight "
+               "requests (default 2000)\n");
   return 2;
 }
 
@@ -55,6 +72,13 @@ int main(int argc, char** argv) {
       opts.listen = argv[++i];
     } else if (arg == "--rescan-ms" && i + 1 < argc) {
       opts.rescan_interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      opts.max_connections =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--idle-ms" && i + 1 < argc) {
+      opts.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--drain-ms" && i + 1 < argc) {
+      opts.drain_timeout_ms = std::atoi(argv[++i]);
     } else {
       return Usage();
     }

@@ -1,0 +1,80 @@
+// Fuzz harness for the serve protocol (serve/protocol.h).
+//
+// HandleRequestLine is the daemon's entire attack surface once a
+// connection is up: every byte a peer sends (minus framing newlines)
+// lands here verbatim. The harness serves a real summary through a
+// real SummaryRegistry, so command dispatch, predicate parsing, and
+// estimate evaluation all run against live state. The protocol
+// contract under ANY input: exactly one response line, prefixed
+// "ok " / "ok" or "err " — never empty, never multi-line, never a
+// crash. ("quit" is connection framing, handled by the server, so
+// here it is just another unknown command.)
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/logr_compressor.h"
+#include "core/serialization.h"
+#include "serve/protocol.h"
+#include "serve/summary_registry.h"
+#include "util/check.h"
+#include "workload/query_log.h"
+
+namespace {
+
+/// One registry + handler for the whole fuzz run, serving a small
+/// deterministic summary named "prod" — so "estimate prod ..." inputs
+/// reach the estimator instead of dying at the name lookup.
+struct Fixture {
+  Fixture() {
+    char tmpl[] = "/tmp/logr_fuzz_serve_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    LOGR_CHECK(dir != nullptr);
+    logr::QueryLog log;
+    for (int f = 0; f < 16; ++f) {
+      log.mutable_vocabulary()->Intern(
+          {logr::FeatureClause::kSelect, "col" + std::to_string(f)});
+    }
+    for (int q = 0; q < 64; ++q) {
+      std::vector<logr::FeatureId> ids;
+      for (int f = 0; f < 16; ++f) {
+        if (((q >> (f % 6)) ^ f) & 1) {
+          ids.push_back(static_cast<logr::FeatureId>(f));
+        }
+      }
+      if (ids.empty()) ids.push_back(0);
+      log.Add(logr::FeatureVec(std::move(ids)), 1 + q % 7);
+    }
+    logr::LogROptions opts;
+    opts.num_clusters = 2;
+    opts.encoder = "naive";
+    logr::LogRSummary summary = logr::Compress(log, opts);
+    std::string error;
+    LOGR_CHECK(logr::WriteSummaryFile(std::string(dir) + "/prod.logr",
+                                      log.vocabulary(), summary.Model(),
+                                      &error));
+    registry = new logr::SummaryRegistry(dir);
+    LOGR_CHECK(registry->Rescan().loaded == 1);
+    handler = new logr::ProtocolHandler(registry);
+  }
+  logr::SummaryRegistry* registry = nullptr;
+  logr::ProtocolHandler* handler = nullptr;
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static Fixture fixture;
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  const std::string response = fixture.handler->HandleRequestLine(line);
+  // One line out, always classified. The server appends the framing
+  // newline itself, so a newline inside the response would tear the
+  // protocol into two bogus replies.
+  LOGR_CHECK(!response.empty());
+  LOGR_CHECK(response.rfind("ok", 0) == 0 || response.rfind("err ", 0) == 0);
+  LOGR_CHECK(response.find('\n') == std::string::npos);
+  return 0;
+}

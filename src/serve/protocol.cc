@@ -166,6 +166,22 @@ std::string ProtocolHandler::HandleRequestLine(const std::string& line) const {
     return os.str();
   }
 
+  if (cmd == "stats") {
+    // Shedding and deadline enforcement are only trustworthy when
+    // observable: these counters let an operator (and the chaos tests)
+    // reconcile what the daemon did against the traffic it received.
+    // The requests counter includes this very request — the daemon
+    // counts a line before handling it.
+    std::ostringstream os;
+    os << "ok accepted=" << (counters_ ? counters_->accepted.load() : 0)
+       << " active=" << (counters_ ? counters_->active.load() : 0)
+       << " shed=" << (counters_ ? counters_->shed.load() : 0)
+       << " timed_out=" << (counters_ ? counters_->timed_out.load() : 0)
+       << " requests=" << (counters_ ? counters_->requests.load() : 0)
+       << " rescans=" << registry_->Rescans();
+    return os.str();
+  }
+
   if (cmd == "reload") {
     const SummaryRegistry::ScanResult r = registry_->Rescan();
     std::ostringstream os;
@@ -206,7 +222,7 @@ std::string ProtocolHandler::HandleRequestLine(const std::string& line) const {
 
   return Err("unknown command '" + cmd +
              "' (ping, list, info, estimate, marginal, drift, reload, "
-             "quit)");
+             "stats, quit)");
 }
 
 }  // namespace logr

@@ -11,6 +11,8 @@
 //   marginal NAME TERM           -> ok marginal=<m> components=<k> <m_i>...
 //   drift NAME_A NAME_B          -> ok l1=<v> features=<n> top ...
 //   reload                       -> ok loaded=<l> reloaded=<r> ...
+//   stats                        -> ok accepted=<n> active=<n> shed=<n>
+//                                   timed_out=<n> requests=<n> rescans=<n>
 //
 // PREDICATE is the canonical conjunctive form shared with `logr_cli
 // estimate` (workload/predicate.h): comma-separated CLAUSE:TEXT terms
@@ -23,6 +25,7 @@
 
 #include <string>
 
+#include "serve/stats.h"
 #include "serve/summary_registry.h"
 
 namespace logr {
@@ -31,9 +34,13 @@ class ProtocolHandler {
  public:
   /// The handler serves snapshots out of `registry` (not owned; must
   /// outlive the handler). Stateless otherwise — one handler serves
-  /// every connection concurrently.
-  explicit ProtocolHandler(SummaryRegistry* registry)
-      : registry_(registry) {}
+  /// every connection concurrently. `counters` (not owned, may be
+  /// null) feeds the `stats` verb; a handler without a daemon — the
+  /// pure-function tests, the fuzzer — reports zeros for the
+  /// connection counters and still reports the registry's rescans.
+  explicit ProtocolHandler(SummaryRegistry* registry,
+                           const ServeCounters* counters = nullptr)
+      : registry_(registry), counters_(counters) {}
 
   /// Handles one request line (no trailing newline) and returns the
   /// response line (no trailing newline, always "ok ..." or "err ...").
@@ -42,6 +49,7 @@ class ProtocolHandler {
 
  private:
   SummaryRegistry* registry_;
+  const ServeCounters* counters_;
 };
 
 }  // namespace logr

@@ -1,12 +1,14 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -15,6 +17,8 @@
 namespace logr {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -25,6 +29,11 @@ bool Fail(std::string* error, const std::string& message) {
 /// dropped — generous for any real predicate, small enough that a
 /// hostile client cannot balloon the daemon's memory.
 constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+/// Poll granularity for noticing draining_/hard_stop_ while a
+/// connection waits on a quiet or stalled peer. Bounds how stale a
+/// stop request can go unnoticed, not any protocol deadline.
+constexpr int kPollTickMs = 100;
 
 bool ParsePort(const std::string& text, std::uint16_t* port) {
   if (text.empty() || text.size() > 5) return false;
@@ -38,26 +47,25 @@ bool ParsePort(const std::string& text, std::uint16_t* port) {
   return true;
 }
 
-/// Fully sends `data`; MSG_NOSIGNAL so a client that hung up mid-reply
-/// surfaces as an error instead of SIGPIPE-killing the daemon.
-bool SendAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Milliseconds left until `deadline`, clamped to [0, kPollTickMs] so
+/// every wait both honors the deadline and notices a stop request.
+int TickTowards(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left, kPollTickMs));
 }
 
 }  // namespace
 
 ServeDaemon::ServeDaemon(SummaryRegistry* registry)
-    : registry_(registry), handler_(registry) {}
+    : registry_(registry), handler_(registry, &counters_) {}
 
 ServeDaemon::~ServeDaemon() { Stop(); }
 
@@ -127,7 +135,9 @@ bool ServeDaemon::Start(const ServeOptions& opts, std::string* error) {
     endpoint_ = "tcp:" + host + ":" + std::to_string(ntohs(addr.sin_port));
   }
 
-  stopping_.store(false);
+  limits_ = opts;
+  draining_.store(false);
+  hard_stop_.store(false);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   if (opts.rescan_interval_ms > 0) {
     const int interval = opts.rescan_interval_ms;
@@ -137,87 +147,210 @@ bool ServeDaemon::Start(const ServeOptions& opts, std::string* error) {
 }
 
 void ServeDaemon::AcceptLoop() {
-  while (!stopping_.load()) {
+  while (!draining_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);
-    if (stopping_.load()) break;
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (draining_.load()) break;
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    connections_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(conn_mu_);
     ReapFinishedConnections();
+    // The cap check is race-free: only this thread ever increments
+    // `active`, and connection threads decrement it as they finish —
+    // before being reaped — so a freed slot is visible immediately.
+    if (limits_.max_connections > 0 &&
+        counters_.active.load() >= limits_.max_connections) {
+      ShedConnection(fd);
+      continue;
+    }
+    counters_.accepted.fetch_add(1);
+    counters_.active.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conn_mu_);
     Connection conn;
     conn.fd = fd;
     conn.done = std::make_shared<std::atomic<bool>>(false);
     auto done = conn.done;
     conn.thread = std::thread([this, fd, done] {
       ServeConnection(fd);
+      counters_.active.fetch_sub(1);
       done->store(true);
     });
     conns_.push_back(std::move(conn));
   }
 }
 
+void ServeDaemon::ShedConnection(int fd) {
+  // Count first, so a peer that reads the reply is guaranteed to find
+  // itself in `stats shed`. The send is a single nonblocking attempt:
+  // the connection is brand new, so its send buffer is empty and the
+  // write succeeds unless the peer already vanished — and a vanished
+  // peer needs no reply.
+  counters_.shed.fetch_add(1);
+  SetNonBlocking(fd);
+  const char kBusy[] = "err busy\n";
+  (void)::send(fd, kBusy, sizeof(kBusy) - 1, MSG_NOSIGNAL);
+  ::close(fd);
+}
+
 void ServeDaemon::ReapFinishedConnections() {
-  // Caller holds conn_mu_. Connection threads never close their own fd
-  // — the owner joins first, then closes, so Stop() can safely
-  // shutdown() any fd still in the list.
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->done->load()) {
-      it->thread.join();
-      ::close(it->fd);
-      it = conns_.erase(it);
-    } else {
-      ++it;
+  // Swap finished entries out under the lock, join outside it: a join
+  // can wait on a connection mid-request, and blocking the accept path
+  // (or Stop) behind that would recreate the very stall the deadlines
+  // exist to prevent. Connection threads never close their own fd —
+  // the reaper joins first, then closes, so Stop() can still safely
+  // shutdown() any fd remaining in the list.
+  std::vector<Connection> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->done->load()) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+  for (Connection& conn : finished) {
+    conn.thread.join();
+    ::close(conn.fd);
   }
 }
 
+bool ServeDaemon::SendReply(int fd, const std::string& data) {
+  // Nonblocking sends with POLLOUT waits, bounded by the write
+  // deadline. A peer that stops reading (while the daemon owes it a
+  // reply) stalls here, not forever: the deadline cuts it and the
+  // connection thread is reclaimed.
+  const bool bounded = limits_.write_timeout_ms > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         bounded ? limits_.write_timeout_ms : 0);
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return false;
+    if (hard_stop_.load()) return false;
+    int wait = kPollTickMs;
+    if (bounded) {
+      wait = TickTowards(deadline);
+      if (wait == 0) {
+        counters_.timed_out.fetch_add(1);
+        return false;
+      }
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    ::poll(&pfd, 1, wait);
+  }
+  return true;
+}
+
 void ServeDaemon::ServeConnection(int fd) {
+  // All IO on the connection is nonblocking; every wait goes through
+  // poll with a bounded timeout. The loop's obligations, in order:
+  // answer buffered complete request lines, honor a drain request,
+  // then wait for more bytes under the idle deadline.
+  if (!SetNonBlocking(fd)) return;
   std::string pending;
   char buf[4096];
-  while (!stopping_.load()) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;
-    pending.append(buf, static_cast<std::size_t>(n));
+  std::uint64_t served = 0;
+  auto last_activity = Clock::now();
+  while (!hard_stop_.load()) {
+    // Serve every complete line already buffered.
     std::size_t nl;
     while ((nl = pending.find('\n')) != std::string::npos) {
       std::string line = pending.substr(0, nl);
       pending.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line == "quit") {
-        SendAll(fd, "ok bye\n");
+      counters_.requests.fetch_add(1);
+      if (limits_.max_requests_per_connection > 0 &&
+          served >= limits_.max_requests_per_connection) {
+        SendReply(fd, "err request budget exhausted\n");
         ::shutdown(fd, SHUT_RDWR);
         return;
       }
-      if (!SendAll(fd, handler_.HandleRequestLine(line) + "\n")) return;
+      ++served;
+      if (line == "quit") {
+        SendReply(fd, "ok bye\n");
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+      if (!SendReply(fd, handler_.HandleRequestLine(line) + "\n")) return;
+      if (hard_stop_.load()) return;
     }
     if (pending.size() > kMaxRequestBytes) {
-      SendAll(fd, "err request line too long\n");
+      SendReply(fd, "err request line too long\n");
       ::shutdown(fd, SHUT_RDWR);
       return;
     }
+    if (draining_.load()) {
+      // Drain: everything buffered was answered above. One more
+      // nonblocking pass picks up request lines that were already in
+      // the socket when the stop began — those are in flight and get
+      // their replies — then the connection closes. A peer that has
+      // sent nothing (the idle or loris case) closes immediately.
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        pending.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      return;
+    }
+    // Wait for request bytes under the idle deadline.
+    const bool idle_bounded = limits_.idle_timeout_ms > 0;
+    const auto idle_deadline =
+        last_activity +
+        std::chrono::milliseconds(idle_bounded ? limits_.idle_timeout_ms : 0);
+    int wait = kPollTickMs;
+    if (idle_bounded) {
+      wait = TickTowards(idle_deadline);
+      if (wait == 0) {
+        // The slow-loris cut: no request byte within the deadline.
+        counters_.timed_out.fetch_add(1);
+        SendReply(fd, "err idle timeout\n");
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      pending.append(buf, static_cast<std::size_t>(n));
+      last_activity = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    // EOF or a hard error. Complete lines were all answered before this
+    // read, so a half-closed peer has already received its replies.
+    return;
   }
 }
 
 void ServeDaemon::WatchLoop(int interval_ms) {
   std::unique_lock<std::mutex> lock(watch_mu_);
-  while (!stopping_.load()) {
+  while (!draining_.load()) {
     watch_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                       [this] { return stopping_.load(); });
-    if (stopping_.load()) break;
+                       [this] { return draining_.load(); });
+    if (draining_.load()) break;
     registry_->Rescan();
   }
 }
 
 void ServeDaemon::Stop() {
-  if (stopping_.exchange(true)) {
-    // A second Stop() (destructor after explicit Stop) still waits for
-    // the threads in case the first call is racing us — join below is
-    // guarded by joinable().
-  }
+  // Serialized so a destructor racing an explicit Stop() (or a signal
+  // handler's) waits for the full drain instead of tearing state.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  draining_.store(true);
   {
     std::lock_guard<std::mutex> lock(watch_mu_);
     watch_cv_.notify_all();
@@ -232,16 +365,38 @@ void ServeDaemon::Stop() {
     ::unlink(unix_path_.c_str());
     unix_path_.clear();
   }
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (Connection& conn : conns_) {
-    // Wake any read() still blocked, then join and close.
+  // Graceful drain: connection threads notice draining_, finish the
+  // request lines they already hold, flush replies, and exit. Poll for
+  // that up to the drain deadline.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         limits_.drain_timeout_ms > 0
+                             ? limits_.drain_timeout_ms
+                             : 0);
+  for (;;) {
+    ReapFinishedConnections();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (conns_.empty()) break;
+    }
+    if (limits_.drain_timeout_ms <= 0 || Clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Hard stop for stragglers: abort their IO waits and join.
+  hard_stop_.store(true);
+  std::vector<Connection> remaining;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    remaining.swap(conns_);
+  }
+  for (Connection& conn : remaining) {
+    // Wake any poll still blocked, then join and close.
     ::shutdown(conn.fd, SHUT_RDWR);
   }
-  for (Connection& conn : conns_) {
+  for (Connection& conn : remaining) {
     if (conn.thread.joinable()) conn.thread.join();
     ::close(conn.fd);
   }
-  conns_.clear();
 }
 
 }  // namespace logr

@@ -1,5 +1,5 @@
 // The serve daemon: sockets, connection threads, and the directory
-// watch.
+// watch — hardened against hostile clients and overload.
 //
 // ServeDaemon binds one listening socket — TCP loopback or a Unix
 // domain socket — and answers the line protocol (serve/protocol.h) on
@@ -14,10 +14,30 @@
 //     place atomically) and it goes live within one interval, while
 //     requests already running keep their shared_ptr snapshots.
 //
-// Stop() (and the destructor) closes the listening socket, wakes the
-// watcher, shuts down every live connection, and joins all threads —
-// no detached threads anywhere, so the daemon is clean under TSan and
-// safe to start/stop repeatedly inside one test process.
+// The daemon never trusts a peer to behave:
+//
+//   * at most `max_connections` connections are served concurrently; a
+//     connection past the cap is answered "err busy" and closed (and
+//     counted as shed) instead of queueing unboundedly or silently
+//     vanishing, so a well-behaved client can tell overload from
+//     outage and retry with backoff;
+//   * every connection fd is nonblocking, and all socket waits go
+//     through poll with a deadline: a slow-loris peer (connects, never
+//     sends a newline) is cut at `idle_timeout_ms`, a stalled reader
+//     that stops draining a reply is cut at `write_timeout_ms` — in
+//     both cases the connection thread is reclaimed, so stalled peers
+//     cannot pin threads or exhaust fds;
+//   * one connection may issue at most `max_requests_per_connection`
+//     requests before it is closed, bounding the work a single peer
+//     can claim without reconnecting (and re-passing the cap check).
+//
+// Stop() (and the destructor) stops accepting, then drains: request
+// lines already received keep executing and their replies are flushed,
+// up to `drain_timeout_ms`; stragglers are then shut down hard. All
+// threads are joined — no detached threads anywhere, so the daemon is
+// clean under TSan and safe to start/stop repeatedly in one process.
+// Every decision above is observable through counters() and the
+// protocol's `stats` verb.
 #ifndef LOGR_SERVE_SERVER_H_
 #define LOGR_SERVE_SERVER_H_
 
@@ -31,6 +51,7 @@
 #include <vector>
 
 #include "serve/protocol.h"
+#include "serve/stats.h"
 #include "serve/summary_registry.h"
 
 namespace logr {
@@ -43,6 +64,26 @@ struct ServeOptions {
   /// Directory watch cadence. 0 disables the watch thread entirely —
   /// reloads then only happen through the protocol's "reload" request.
   int rescan_interval_ms = 500;
+  /// Concurrent-connection cap. A connection arriving with every slot
+  /// taken is answered "err busy" and closed — counted as shed, never
+  /// silently dropped. 0 means unlimited (tests only; a real daemon
+  /// should always bound its thread count).
+  std::size_t max_connections = 64;
+  /// Idle/read deadline: a connection that delivers no request byte
+  /// for this long is answered "err idle timeout" and closed. This is
+  /// the slow-loris defense. 0 disables.
+  int idle_timeout_ms = 30000;
+  /// Write deadline: a peer that stops reading while a reply is in
+  /// flight is cut once a send makes no progress for this long. 0
+  /// disables.
+  int write_timeout_ms = 10000;
+  /// Requests one connection may issue before it is told
+  /// "err request budget exhausted" and closed. 0 means unlimited.
+  std::uint64_t max_requests_per_connection = 1 << 20;
+  /// Stop()/SIGTERM drain budget: request lines already received when
+  /// the stop begins get this long to finish and flush their replies
+  /// before remaining connections are shut down hard.
+  int drain_timeout_ms = 2000;
 };
 
 class ServeDaemon {
@@ -63,31 +104,53 @@ class ServeDaemon {
   /// port 0, the resolved ephemeral port (e.g. "tcp:127.0.0.1:41523").
   std::string endpoint() const { return endpoint_; }
 
-  /// Stops accepting, drains and joins every thread. Idempotent.
+  /// Stops accepting, drains in-flight requests up to the drain
+  /// deadline, then joins every thread. Idempotent.
   void Stop();
 
+  /// Live counters (accepted/active/shed/timed-out/requests) — the
+  /// same ledger the protocol's `stats` verb reports.
+  const ServeCounters& counters() const { return counters_; }
+
   /// Connections accepted so far (for tests and the daemon's shutdown
-  /// log line).
-  std::uint64_t ConnectionsAccepted() const { return connections_.load(); }
+  /// log line). Shed connections are not accepted.
+  std::uint64_t ConnectionsAccepted() const {
+    return counters_.accepted.load();
+  }
 
  private:
   void AcceptLoop();
   void WatchLoop(int interval_ms);
   void ServeConnection(int fd);
+  /// Answers an over-cap connection with "err busy" and closes it.
+  void ShedConnection(int fd);
+  /// Joins and closes connections whose threads have finished. The
+  /// list swap happens under conn_mu_ but the joins run outside it, so
+  /// reaping can never stall the accept path behind a slow connection.
   void ReapFinishedConnections();
+  /// Nonblocking send of the whole reply, bounded by the write
+  /// deadline and aborted on hard stop. Counts a deadline hit as
+  /// timed_out. Returns false when the connection should close.
+  bool SendReply(int fd, const std::string& data);
 
   SummaryRegistry* registry_;
   ProtocolHandler handler_;
+  ServeOptions limits_;  ///< the options Start() ran with
   std::string endpoint_;
   std::string unix_path_;  ///< non-empty when listening on AF_UNIX
   int listen_fd_ = -1;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> connections_{0};
+  /// Two-phase shutdown: draining_ stops accepts and tells connection
+  /// threads to finish buffered request lines and exit; hard_stop_
+  /// (set once the drain deadline passes) aborts even in-flight IO.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> hard_stop_{false};
+  ServeCounters counters_;
 
   std::thread accept_thread_;
   std::thread watch_thread_;
   std::mutex watch_mu_;
   std::condition_variable watch_cv_;
+  std::mutex stop_mu_;  ///< serializes concurrent Stop() calls
 
   struct Connection {
     int fd = -1;

@@ -44,6 +44,7 @@ SummaryRegistry::ScanResult SummaryRegistry::Rescan() {
   if (d == nullptr) {
     result.failed = 1;
     result.errors.push_back(dir_ + ": cannot read directory");
+    rescans_.fetch_add(1);
     return result;
   }
   while (struct dirent* ent = ::readdir(d)) {
@@ -118,6 +119,7 @@ SummaryRegistry::ScanResult SummaryRegistry::Rescan() {
       ++it;
     }
   }
+  rescans_.fetch_add(1);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #ifndef LOGR_SERVE_SUMMARY_REGISTRY_H_
 #define LOGR_SERVE_SUMMARY_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -72,10 +73,15 @@ class SummaryRegistry {
 
   const std::string& dir() const { return dir_; }
 
+  /// Number of Rescan() calls completed so far (initial load included),
+  /// reported by the protocol's `stats` verb.
+  std::uint64_t Rescans() const { return rescans_.load(); }
+
  private:
   const std::string dir_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const ServedSummary>> entries_;
+  std::atomic<std::uint64_t> rescans_{0};
 };
 
 }  // namespace logr
